@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness (pytest-benchmark)."""
+
+import pytest
+
+from repro.eval.benchmarks import benchmark_sources
+
+#: Reduced problem sizes so that the full benchmark matrix stays fast while
+#: preserving each workload's character.  Use ``--full-sizes`` to run the
+#: default (paper-scale for this reproduction) sizes.
+SMALL_SIZES = {
+    "binarytrees": {"depth": 5},
+    "binarytrees-int": {"depth": 5},
+    "const_fold": {"depth": 3, "reps": 3},
+    "deriv": {"reps": 3},
+    "filter": {"length": 30},
+    "qsort": {"size": 16},
+    "rbmap_checkpoint": {"inserts": 15},
+    "unionfind": {"elements": 20, "unions": 15},
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sizes",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at their default (larger) problem sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def sources(request):
+    if request.config.getoption("--full-sizes"):
+        return benchmark_sources()
+    return benchmark_sources(SMALL_SIZES)

@@ -1,0 +1,53 @@
+"""Walk through the rgn optimisation pipeline on a realistic workload.
+
+Compiles the ``rbmap_checkpoint`` benchmark with and without the region
+optimisations, reports the per-pass statistics and the resulting cost
+difference.
+
+Run with::
+
+    python examples/region_optimizations.py
+"""
+
+from repro.backend import MlirCompiler, PipelineOptions
+from repro.eval.benchmarks import benchmark_sources
+from repro.interp.cfg_interp import CfgInterpreter
+
+
+def compile_and_measure(source: str, options: PipelineOptions):
+    artifacts = MlirCompiler(options).compile(source)
+    result = CfgInterpreter(artifacts.cfg_module).run_main()
+    return artifacts, result
+
+
+def main() -> None:
+    source = benchmark_sources()["rbmap_checkpoint"]
+
+    optimised_opts = PipelineOptions(verify_each=False)
+    unoptimised_opts = PipelineOptions(
+        run_rgn_optimizations=False, verify_each=False
+    )
+
+    optimised_artifacts, optimised = compile_and_measure(source, optimised_opts)
+    _, unoptimised = compile_and_measure(source, unoptimised_opts)
+
+    assert optimised.value == unoptimised.value
+    print("benchmark: rbmap_checkpoint")
+    print(f"result value: {optimised.value}")
+    print()
+    print("rgn optimisation pass statistics:")
+    for pass_name, counters in optimised_artifacts.pass_statistics.items():
+        print(f"  {pass_name:28s} {counters}")
+    print()
+    print(f"cost without rgn optimisations: {unoptimised.metrics.total_cost()}")
+    print(f"cost with rgn optimisations:    {optimised.metrics.total_cost()}")
+    ratio = unoptimised.metrics.total_cost() / optimised.metrics.total_cost()
+    print(f"speedup from rgn optimisations: {ratio:.3f}x")
+    print()
+    print("dynamic operation mix (optimised pipeline):")
+    for category, count in sorted(optimised.metrics.counts.items()):
+        print(f"  {category:14s} {count}")
+
+
+if __name__ == "__main__":
+    main()

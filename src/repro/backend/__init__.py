@@ -1,0 +1,41 @@
+"""Backends: λrc → lp codegen, lp → rgn and rgn → CFG lowerings, the baseline
+C emitter and the end-to-end pipeline drivers."""
+
+from .c_backend import emit_c_source
+from .lp_codegen import CodegenError, generate_lp_module
+from .lp_to_rgn import LpToRgnPass, lower_lp_to_rgn
+from .pipeline import (
+    FIGURE10_VARIANTS,
+    BaselineCompiler,
+    CompilationArtifacts,
+    Frontend,
+    MlirCompiler,
+    PipelineOptions,
+    rgn_optimization_pipeline,
+    run_all_backends,
+    run_baseline,
+    run_mlir,
+    run_reference,
+)
+from .rgn_to_cf import RgnToCfPass, lower_rgn_to_cf
+
+__all__ = [
+    "emit_c_source",
+    "CodegenError",
+    "generate_lp_module",
+    "LpToRgnPass",
+    "lower_lp_to_rgn",
+    "FIGURE10_VARIANTS",
+    "BaselineCompiler",
+    "CompilationArtifacts",
+    "Frontend",
+    "MlirCompiler",
+    "PipelineOptions",
+    "rgn_optimization_pipeline",
+    "run_all_backends",
+    "run_baseline",
+    "run_mlir",
+    "run_reference",
+    "RgnToCfPass",
+    "lower_rgn_to_cf",
+]

@@ -1,0 +1,158 @@
+"""Lowering lp control flow to the rgn dialect (§IV-A, Figure 8).
+
+* ``lp.switch`` with two outcomes → ``arith.cmpi`` + ``arith.select`` over
+  two ``rgn.val`` values, then ``rgn.run`` (Figure 8 A),
+* ``lp.switch`` with more outcomes → ``rgn.switch`` over one ``rgn.val`` per
+  arm, then ``rgn.run`` (Figure 8 B),
+* ``lp.joinpoint`` → a ``rgn.val`` naming the join body; the pre-jump code is
+  inlined in place of the join point and each ``lp.jump`` becomes a
+  ``rgn.run`` of the named region (Figure 8 C).
+
+Data operations of the lp dialect (constructors, projections, closures,
+reference counts) are untouched — only control flow changes shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dialects import arith, lp, rgn
+from ..dialects.builtin import ModuleOp
+from ..dialects.func import FuncOp
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.core import Block, Operation, Value
+from ..ir.types import i8
+from ..rewrite.pass_manager import ModulePass
+
+
+class LpToRgnError(Exception):
+    """Raised when lp control flow cannot be lowered."""
+
+
+def _move_block_contents(source: Block, dest: Block) -> None:
+    """Move all operations of ``source`` to the end of ``dest``."""
+    for op in list(source.operations):
+        op.detach()
+        dest.append(op)
+
+
+class LpToRgnLowering:
+    """Lowers the control flow of every function in a module."""
+
+    def __init__(self, module: ModuleOp):
+        self.module = module
+
+    def run(self) -> ModuleOp:
+        for func in self.module.functions():
+            if func.entry_block is not None:
+                self._lower_block(func.entry_block, {})
+        return self.module
+
+    # -- per-block lowering ---------------------------------------------------------
+    def _lower_block(self, block: Block, label_map: Dict[str, Value]) -> None:
+        if not block.operations:
+            return
+        terminator = block.operations[-1]
+        if isinstance(terminator, lp.SwitchOp):
+            self._lower_switch(block, terminator, label_map)
+        elif isinstance(terminator, lp.JoinPointOp):
+            self._lower_joinpoint(block, terminator, label_map)
+        elif isinstance(terminator, lp.JumpOp):
+            self._lower_jump(block, terminator, label_map)
+        # lp.return / lp.unreachable stay as they are.
+
+    def _lower_switch(
+        self, block: Block, switch: lp.SwitchOp, label_map: Dict[str, Value]
+    ) -> None:
+        builder = Builder(InsertionPoint.before(switch))
+        # One rgn.val per arm; arms are lowered recursively.
+        arm_values: List[Value] = []
+        for region in switch.case_regions:
+            val = builder.create(rgn.ValOp)
+            _move_block_contents(region.blocks[0], val.body_block)
+            self._lower_block(val.body_block, dict(label_map))
+            arm_values.append(val.result())
+        default_value: Value
+        if switch.has_default:
+            val = builder.create(rgn.ValOp)
+            _move_block_contents(switch.default_block, val.body_block)
+            self._lower_block(val.body_block, dict(label_map))
+            default_value = val.result()
+        else:
+            default_value = arm_values[-1]
+
+        case_values = switch.case_values
+        tag = switch.tag
+        outcomes = list(arm_values)
+        if not switch.has_default and outcomes:
+            outcomes = outcomes[:-1]
+            case_values = case_values[:-1]
+
+        if len(case_values) == 1:
+            # Two-way dispatch: compare against the single case value and
+            # select between the two regions (Figure 8 A).
+            constant = builder.create(arith.ConstantOp, case_values[0], tag.type)
+            condition = builder.create(arith.CmpIOp, "eq", tag, constant.result())
+            selected = builder.create(
+                arith.SelectOp, condition.result(), outcomes[0], default_value
+            ).result()
+        elif not case_values:
+            selected = default_value
+        else:
+            selected = builder.create(
+                rgn.SwitchOp, tag, default_value, case_values, outcomes
+            ).result()
+        builder.create(rgn.RunOp, selected)
+        switch.erase()
+
+    def _lower_joinpoint(
+        self, block: Block, joinpoint: lp.JoinPointOp, label_map: Dict[str, Value]
+    ) -> None:
+        builder = Builder(InsertionPoint.before(joinpoint))
+        arg_types = joinpoint.arg_types
+        val = builder.create(rgn.ValOp, arg_types)
+        # Move the after-jump body into the region value, remapping the
+        # join parameters onto the new entry block arguments.
+        source_body = joinpoint.body_block
+        for old_arg, new_arg in zip(source_body.arguments, val.body_block.arguments):
+            new_arg.name_hint = old_arg.name_hint
+            old_arg.replace_all_uses_with(new_arg)
+        _move_block_contents(source_body, val.body_block)
+
+        new_map = dict(label_map)
+        new_map[joinpoint.label] = val.result()
+        self._lower_block(val.body_block, dict(label_map))
+
+        # Inline the pre-jump code after the region definition; it becomes
+        # the remainder of the current block.
+        pre_block = joinpoint.pre_block
+        pre_ops = list(pre_block.operations)
+        for op in pre_ops:
+            op.detach()
+            block.insert_before(op, joinpoint)
+        joinpoint.erase()
+        self._lower_block(block, new_map)
+
+    def _lower_jump(
+        self, block: Block, jump: lp.JumpOp, label_map: Dict[str, Value]
+    ) -> None:
+        if jump.label not in label_map:
+            raise LpToRgnError(f"lp.jump to unknown join point @{jump.label}")
+        builder = Builder(InsertionPoint.before(jump))
+        builder.create(rgn.RunOp, label_map[jump.label], jump.args)
+        jump.erase()
+
+
+class LpToRgnPass(ModulePass):
+    """Pass wrapper around :class:`LpToRgnLowering`."""
+
+    name = "lp-to-rgn"
+
+    def run(self, module: Operation) -> None:
+        if isinstance(module, ModuleOp):
+            LpToRgnLowering(module).run()
+
+
+def lower_lp_to_rgn(module: ModuleOp) -> ModuleOp:
+    """Lower all lp control flow in ``module`` to rgn form (in place)."""
+    return LpToRgnLowering(module).run()

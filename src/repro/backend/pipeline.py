@@ -1,0 +1,216 @@
+"""End-to-end compilation pipelines (Figure 3) and the variant matrix used by
+the evaluation (Figures 9 and 10).
+
+Baseline pipeline ("leanc")
+    mini-LEAN → λpure → λpure simplifier → λrc → (C source artifact)
+    → λrc interpreter.
+
+New pipeline ("lp + rgn")
+    mini-LEAN → λpure → [optional λpure simplifier] → λrc → lp dialect
+    → rgn dialect → [optional rgn optimisations] → flat CFG → CFG interpreter.
+
+Variants (Figure 10):
+    * ``simplifier`` — λpure simplifier on, rgn optimisations off,
+    * ``rgn``        — λpure simplifier off (LEAN's ``simp_case`` disabled),
+      rgn optimisations on,
+    * ``none``       — both off.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dialects.builtin import ModuleOp
+from ..interp.cfg_interp import CfgInterpreter
+from ..interp.rc_interp import RcInterpreter, RunResult
+from ..interp.reference import ReferenceInterpreter, normalize
+from ..lambda_pure.ir import Program as PureProgram
+from ..lambda_pure.lowering import lower_program
+from ..lambda_pure.simplifier import simplify_program
+from ..lambda_rc.refcount import insert_rc
+from ..lean.parser import parse_program
+from ..lean.typecheck import check_program
+from ..rewrite.pass_manager import PassManager
+from ..transforms.case_elimination import CaseEliminationPass
+from ..transforms.common_branch import CommonBranchEliminationPass
+from ..transforms.constant_fold import ConstantFoldPass
+from ..transforms.cse import CSEPass
+from ..transforms.dce import DeadCodeEliminationPass
+from ..transforms.dead_region import DeadRegionEliminationPass
+from ..transforms.region_gvn import RegionGVNPass
+from .c_backend import emit_c_source
+from .lp_codegen import generate_lp_module
+from .lp_to_rgn import lower_lp_to_rgn
+from .rgn_to_cf import lower_rgn_to_cf
+
+
+@dataclass
+class PipelineOptions:
+    """Configuration knobs of the lp+rgn pipeline."""
+
+    #: Run the λpure simplifier before reference-count insertion.
+    run_lambda_simplifier: bool = True
+    #: Keep LEAN's ``simp_case`` sub-pass enabled inside the simplifier.
+    enable_simp_case: bool = True
+    #: Run the rgn optimisation pipeline between lp→rgn and rgn→cf.
+    run_rgn_optimizations: bool = True
+    #: Individual rgn passes (used by the ablation benchmarks).
+    enable_dead_region_elimination: bool = True
+    enable_region_gvn: bool = True
+    enable_case_elimination: bool = True
+    enable_common_branch_elimination: bool = True
+    enable_constant_fold: bool = True
+    enable_cse: bool = True
+    #: Verify the IR after every pass (slower; on by default in tests).
+    verify_each: bool = True
+
+    @classmethod
+    def variant(cls, name: str) -> "PipelineOptions":
+        """The three variants compared in Figure 10."""
+        if name == "simplifier":
+            return cls(run_lambda_simplifier=True, run_rgn_optimizations=False)
+        if name == "rgn":
+            return cls(run_lambda_simplifier=False, run_rgn_optimizations=True)
+        if name == "none":
+            return cls(run_lambda_simplifier=False, run_rgn_optimizations=False)
+        raise ValueError(f"unknown pipeline variant {name!r}")
+
+
+FIGURE10_VARIANTS = ("simplifier", "rgn", "none")
+
+
+@dataclass
+class CompilationArtifacts:
+    """Everything produced while compiling one program."""
+
+    surface_source: str
+    pure_program: PureProgram
+    rc_program: PureProgram
+    lp_module: Optional[ModuleOp] = None
+    cfg_module: Optional[ModuleOp] = None
+    c_source: Optional[str] = None
+    pass_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+class Frontend:
+    """Shared frontend: parse, type check, lower to λpure."""
+
+    @staticmethod
+    def to_pure(source: str) -> PureProgram:
+        surface = parse_program(source)
+        env = check_program(surface)
+        return lower_program(surface, env)
+
+
+def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
+    """The rgn optimisation pass pipeline of the new backend (§IV-B)."""
+    passes = []
+    if options.enable_constant_fold:
+        passes.append(ConstantFoldPass())
+    if options.enable_cse:
+        passes.append(CSEPass())
+    if options.enable_region_gvn:
+        passes.append(RegionGVNPass())
+    if options.enable_common_branch_elimination:
+        passes.append(CommonBranchEliminationPass())
+    if options.enable_case_elimination:
+        passes.append(CaseEliminationPass())
+    if options.enable_dead_region_elimination:
+        passes.append(DeadRegionEliminationPass())
+    passes.append(DeadCodeEliminationPass())
+    return PassManager(passes, verify_each=options.verify_each)
+
+
+class BaselineCompiler:
+    """The baseline ("leanc") pipeline: λrc executed directly, C emitted as
+    an artifact."""
+
+    def __init__(self, *, enable_simplifier: bool = True):
+        self.enable_simplifier = enable_simplifier
+
+    def compile(self, source: str) -> CompilationArtifacts:
+        pure = Frontend.to_pure(source)
+        optimized = (
+            simplify_program(copy.deepcopy(pure)) if self.enable_simplifier else pure
+        )
+        rc = insert_rc(optimized)
+        return CompilationArtifacts(
+            surface_source=source,
+            pure_program=pure,
+            rc_program=rc,
+            c_source=emit_c_source(rc),
+        )
+
+    def run(self, source: str, *, check_heap: bool = True) -> RunResult:
+        artifacts = self.compile(source)
+        return RcInterpreter(artifacts.rc_program).run_main(check_heap=check_heap)
+
+
+class MlirCompiler:
+    """The new pipeline: λrc → lp → rgn → CFG."""
+
+    def __init__(self, options: Optional[PipelineOptions] = None):
+        self.options = options if options is not None else PipelineOptions()
+
+    def compile(self, source: str) -> CompilationArtifacts:
+        options = self.options
+        pure = Frontend.to_pure(source)
+        staged = copy.deepcopy(pure)
+        if options.run_lambda_simplifier:
+            staged = simplify_program(
+                staged, enable_simp_case=options.enable_simp_case
+            )
+        rc = insert_rc(staged)
+        lp_module = generate_lp_module(rc)
+        artifacts = CompilationArtifacts(
+            surface_source=source,
+            pure_program=pure,
+            rc_program=rc,
+            lp_module=lp_module,
+        )
+        cfg_module = lower_lp_to_rgn(lp_module)
+        if options.run_rgn_optimizations:
+            pipeline = rgn_optimization_pipeline(options)
+            pipeline.run(cfg_module)
+            artifacts.pass_statistics = {
+                name: stats.counters for name, stats in pipeline.statistics.items()
+            }
+        cfg_module = lower_rgn_to_cf(cfg_module)
+        artifacts.cfg_module = cfg_module
+        return artifacts
+
+    def run(self, source: str, *, check_heap: bool = True) -> RunResult:
+        artifacts = self.compile(source)
+        return CfgInterpreter(artifacts.cfg_module).run_main(check_heap=check_heap)
+
+
+def run_reference(source: str):
+    """Run the source through the λpure reference interpreter (golden value)."""
+    pure = Frontend.to_pure(source)
+    return normalize(ReferenceInterpreter(pure).run_main())
+
+
+def run_baseline(source: str, *, check_heap: bool = True) -> RunResult:
+    """Compile and run via the baseline ("leanc") pipeline."""
+    return BaselineCompiler().run(source, check_heap=check_heap)
+
+
+def run_mlir(
+    source: str,
+    options: Optional[PipelineOptions] = None,
+    *,
+    check_heap: bool = True,
+) -> RunResult:
+    """Compile and run via the lp+rgn pipeline."""
+    return MlirCompiler(options).run(source, check_heap=check_heap)
+
+
+def run_all_backends(source: str) -> Dict[str, RunResult]:
+    """Run every pipeline variant on ``source`` (used by differential tests)."""
+    results: Dict[str, RunResult] = {"baseline": run_baseline(source)}
+    for variant in FIGURE10_VARIANTS:
+        results[f"mlir-{variant}"] = run_mlir(source, PipelineOptions.variant(variant))
+    results["mlir-default"] = run_mlir(source)
+    return results

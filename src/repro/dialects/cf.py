@@ -1,0 +1,150 @@
+"""The cf dialect: flat control-flow-graph terminators.
+
+The final lowering stage of the new backend (rgn → CFG, §IV-C) produces
+blocks terminated by these operations.  Block arguments of the successor
+blocks play the role of phi nodes; the terminators forward values to them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.attributes import ArrayAttr, IntegerAttr
+from ..ir.core import Block, Operation, Value
+from ..ir.dialect import Dialect
+from ..ir.traits import IsTerminator
+
+cf_dialect = Dialect("cf")
+
+
+@cf_dialect.register_op
+class BranchOp(Operation):
+    """``cf.br`` — unconditional branch, forwarding operands to the target."""
+
+    OP_NAME = "cf.br"
+    TRAITS = frozenset({IsTerminator})
+
+    def __init__(self, dest: Block, operands: Sequence[Value] = ()):
+        super().__init__(operands=operands, successors=[dest])
+
+    @property
+    def dest(self) -> Block:
+        return self.successors[0]
+
+    @property
+    def dest_operands(self) -> List[Value]:
+        return list(self.operands)
+
+
+@cf_dialect.register_op
+class CondBranchOp(Operation):
+    """``cf.cond_br`` — two-way conditional branch.
+
+    Operand layout: ``[condition, true_operands..., false_operands...]`` with
+    the split recorded in the ``true_operand_count`` attribute.
+    """
+
+    OP_NAME = "cf.cond_br"
+    TRAITS = frozenset({IsTerminator})
+
+    def __init__(
+        self,
+        condition: Value,
+        true_dest: Block,
+        false_dest: Block,
+        true_operands: Sequence[Value] = (),
+        false_operands: Sequence[Value] = (),
+    ):
+        super().__init__(
+            operands=[condition, *true_operands, *false_operands],
+            successors=[true_dest, false_dest],
+            attributes={"true_operand_count": IntegerAttr(len(true_operands))},
+        )
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_dest(self) -> Block:
+        return self.successors[0]
+
+    @property
+    def false_dest(self) -> Block:
+        return self.successors[1]
+
+    @property
+    def true_operands(self) -> List[Value]:
+        n = self.attributes["true_operand_count"].value
+        return list(self.operands[1 : 1 + n])
+
+    @property
+    def false_operands(self) -> List[Value]:
+        n = self.attributes["true_operand_count"].value
+        return list(self.operands[1 + n :])
+
+
+@cf_dialect.register_op
+class SwitchOp(Operation):
+    """``cf.switch`` — multi-way branch on an integer flag.
+
+    Successors: ``[default, case_0, case_1, ...]``.  The matched case values
+    are stored in the ``case_values`` array attribute.  Operand forwarding to
+    successor blocks is not needed by our lowering (the forwarded values of
+    join points are passed through ``cf.br``), so the flag is the only
+    operand.
+    """
+
+    OP_NAME = "cf.switch"
+    TRAITS = frozenset({IsTerminator})
+
+    def __init__(
+        self,
+        flag: Value,
+        default_dest: Block,
+        case_values: Sequence[int],
+        case_dests: Sequence[Block],
+    ):
+        if len(case_values) != len(case_dests):
+            raise ValueError("case_values and case_dests must have equal length")
+        super().__init__(
+            operands=[flag],
+            successors=[default_dest, *case_dests],
+            attributes={
+                "case_values": ArrayAttr([IntegerAttr(v) for v in case_values])
+            },
+        )
+
+    @property
+    def flag(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def default_dest(self) -> Block:
+        return self.successors[0]
+
+    @property
+    def case_values(self) -> List[int]:
+        return [a.value for a in self.attributes["case_values"]]
+
+    @property
+    def case_dests(self) -> List[Block]:
+        return list(self.successors[1:])
+
+    def verify_(self) -> None:
+        n_cases = len(self.attributes["case_values"].elements)
+        if len(self.successors) != n_cases + 1:
+            raise ValueError(
+                "cf.switch successor count does not match case_values"
+            )
+
+
+@cf_dialect.register_op
+class UnreachableOp(Operation):
+    """``cf.unreachable`` — marks statically impossible control flow."""
+
+    OP_NAME = "cf.unreachable"
+    TRAITS = frozenset({IsTerminator})
+
+    def __init__(self):
+        super().__init__()

@@ -1,0 +1,177 @@
+"""The rgn dialect — regions as first-class SSA values (§IV of the paper).
+
+Two core operations:
+
+* ``rgn.val`` names a region: it packages a nested region as an SSA value of
+  type ``!rgn.region``.  Conceptually it is a continuation — a computation to
+  be performed when invoked.
+* ``rgn.run`` is a terminator that transfers control to a region value with
+  the supplied arguments (conceptually: invoking the continuation).
+
+Region values may only flow into ``arith.select`` (two-way choice),
+``rgn.switch`` (the N-way value switch of Figure 8 B) and ``rgn.run``; they
+may not be passed to functions or returned.  This restriction keeps every use
+statically analysable, which is what lets classical SSA optimisations apply.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.attributes import ArrayAttr, IntegerAttr
+from ..ir.core import Block, Operation, Region, Value
+from ..ir.dialect import Dialect
+from ..ir.traits import IsTerminator, Pure
+from ..ir.types import IntegerType, RegionType, Type, region as region_type
+
+rgn_dialect = Dialect("rgn")
+
+
+@rgn_dialect.register_op
+class ValOp(Operation):
+    """``rgn.val`` — declare a region as an SSA value of type ``!rgn.region``.
+
+    The single nested region holds the computation; its entry block arguments
+    (if any) are the values passed by ``rgn.run``.
+    """
+
+    OP_NAME = "rgn.val"
+    TRAITS = frozenset({Pure})
+
+    def __init__(self, arg_types: Sequence[Type] = ()):
+        super().__init__(result_types=[region_type], regions=1)
+        self.regions[0].add_block(Block(arg_types))
+
+    @property
+    def body_region(self) -> Region:
+        return self.regions[0]
+
+    @property
+    def body_block(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def arg_types(self) -> List[Type]:
+        return [a.type for a in self.body_block.arguments]
+
+    def verify_(self) -> None:
+        if len(self.regions) != 1:
+            raise ValueError("rgn.val expects exactly one region")
+        if not self.regions[0].blocks:
+            raise ValueError("rgn.val region must not be empty")
+
+
+@rgn_dialect.register_op
+class RunOp(Operation):
+    """``rgn.run`` — execute a region value, passing ``args`` to its entry
+    block arguments.  This is a terminator: control does not return."""
+
+    OP_NAME = "rgn.run"
+    TRAITS = frozenset({IsTerminator})
+
+    def __init__(self, region_value: Value, args: Sequence[Value] = ()):
+        super().__init__(operands=[region_value, *args])
+
+    @property
+    def region_value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.operands[1:])
+
+    def verify_(self) -> None:
+        if not self.operands:
+            raise ValueError("rgn.run requires a region operand")
+        if not isinstance(self.operands[0].type, RegionType):
+            raise ValueError("rgn.run operand #0 must be of type !rgn.region")
+
+
+@rgn_dialect.register_op
+class SwitchOp(Operation):
+    """``rgn.switch`` — N-way *value* selection between region values.
+
+    Mirrors the paper's use of MLIR's ``switch`` over region operands
+    (Figure 8 B): based on the integer flag the op yields one of the case
+    regions (or the default region).  It is pure — the chosen region is not
+    executed until it reaches a ``rgn.run``.
+    """
+
+    OP_NAME = "rgn.switch"
+    TRAITS = frozenset({Pure})
+
+    def __init__(
+        self,
+        flag: Value,
+        default_region: Value,
+        case_values: Sequence[int],
+        case_regions: Sequence[Value],
+    ):
+        if len(case_values) != len(case_regions):
+            raise ValueError("case_values and case_regions must have equal length")
+        super().__init__(
+            operands=[flag, default_region, *case_regions],
+            result_types=[region_type],
+            attributes={
+                "case_values": ArrayAttr([IntegerAttr(v) for v in case_values])
+            },
+        )
+
+    @property
+    def flag(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def default_region(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def case_values(self) -> List[int]:
+        return [a.value for a in self.attributes["case_values"]]
+
+    @property
+    def case_regions(self) -> List[Value]:
+        return list(self.operands[2:])
+
+    def region_for_value(self, value: int) -> Value:
+        """The region operand selected for ``value`` (default if unmatched)."""
+        for cv, reg in zip(self.case_values, self.case_regions):
+            if cv == value:
+                return reg
+        return self.default_region
+
+    def verify_(self) -> None:
+        if not isinstance(self.operands[0].type, IntegerType):
+            raise ValueError("rgn.switch flag must be an integer")
+        for v in self.operands[1:]:
+            if not isinstance(v.type, RegionType):
+                raise ValueError("rgn.switch case operands must be !rgn.region")
+        if len(set(self.case_values)) != len(self.case_values):
+            raise ValueError("rgn.switch case values must be distinct")
+
+
+def is_region_value(value: Value) -> bool:
+    """True if ``value`` has the first-class region type."""
+    return isinstance(value.type, RegionType)
+
+
+def allowed_region_user(op: Operation) -> bool:
+    """True if ``op`` is one of the operations permitted to consume region
+    values (select, rgn.switch, rgn.run) — used by the rgn verifier pass."""
+    from .arith import SelectOp
+
+    return isinstance(op, (SelectOp, SwitchOp, RunOp))
+
+
+def verify_region_value_uses(root: Operation) -> List[str]:
+    """Enforce the paper's restriction on region values: they may only be
+    used by select / rgn.switch / rgn.run, never passed to calls or returned."""
+    errors: List[str] = []
+    for op in root.walk():
+        for i, operand in enumerate(op.operands):
+            if is_region_value(operand) and not allowed_region_user(op):
+                errors.append(
+                    f"{op.name}: operand {i} is a region value but the "
+                    "operation is not select/rgn.switch/rgn.run"
+                )
+    return errors

@@ -1,0 +1,71 @@
+"""The scf dialect: structured control flow (``scf.if`` / ``scf.yield``).
+
+The paper mentions ``scf`` as one of the pre-existing MLIR dialects its
+pipeline can interoperate with; we provide ``scf.if`` both for completeness
+and as an extra lowering target exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.core import Block, Operation, Value
+from ..ir.dialect import Dialect
+from ..ir.traits import IsTerminator, Pure, SingleBlock
+from ..ir.types import IntegerType, Type
+
+scf_dialect = Dialect("scf")
+
+
+@scf_dialect.register_op
+class IfOp(Operation):
+    """``scf.if`` — structured if/else yielding values from its regions."""
+
+    OP_NAME = "scf.if"
+    TRAITS = frozenset({SingleBlock})
+
+    def __init__(
+        self,
+        condition: Value,
+        result_types: Sequence[Type] = (),
+        *,
+        with_else: bool = True,
+    ):
+        super().__init__(
+            operands=[condition],
+            result_types=result_types,
+            regions=2 if with_else else 1,
+        )
+        self.regions[0].add_block(Block())
+        if with_else:
+            self.regions[1].add_block(Block())
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def else_block(self) -> Block:
+        if len(self.regions) < 2 or not self.regions[1].blocks:
+            raise ValueError("scf.if has no else region")
+        return self.regions[1].blocks[0]
+
+    def verify_(self) -> None:
+        cond = self.operands[0]
+        if not (isinstance(cond.type, IntegerType) and cond.type.width == 1):
+            raise ValueError("scf.if condition must be i1")
+
+
+@scf_dialect.register_op
+class YieldOp(Operation):
+    """``scf.yield`` — terminator yielding values from an scf region."""
+
+    OP_NAME = "scf.yield"
+    TRAITS = frozenset({IsTerminator, Pure})
+
+    def __init__(self, operands: Sequence[Value] = ()):
+        super().__init__(operands=operands)

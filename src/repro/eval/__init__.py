@@ -1,0 +1,25 @@
+"""Evaluation: benchmark programs, harness and figure regeneration."""
+
+from .benchmarks import BENCHMARK_NAMES, DEFAULT_SIZES, benchmark_sources
+from .harness import (
+    EvaluationHarness,
+    FigureData,
+    SpeedupRow,
+    VariantMeasurement,
+    geometric_mean,
+)
+from .testsuite import TestProgram, programs_by_category, regression_programs
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "DEFAULT_SIZES",
+    "benchmark_sources",
+    "EvaluationHarness",
+    "FigureData",
+    "SpeedupRow",
+    "VariantMeasurement",
+    "geometric_mean",
+    "TestProgram",
+    "programs_by_category",
+    "regression_programs",
+]

@@ -1,0 +1,182 @@
+"""Regenerate the paper's figures as text reports.
+
+Usage::
+
+    python -m repro.eval.figures --figure 9
+    python -m repro.eval.figures --figure 10
+    python -m repro.eval.figures --figure 11
+    python -m repro.eval.figures --all
+
+Each report prints the same rows/series as the paper's figure; absolute
+numbers differ (the substrate is a cost-model interpreter, not the authors'
+Xeon testbed) but the shape — per-benchmark speedups hovering around parity —
+is what the paper's conclusion rests on.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .harness import EvaluationHarness, FigureData
+
+#: Paper-reported speedups (Figure 9): lp+rgn backend over leanc.
+PAPER_FIGURE9 = {
+    "binarytrees-int": 1.05,
+    "binarytrees": 1.12,
+    "const_fold": 1.01,
+    "deriv": 1.04,
+    "filter": 0.93,
+    "qsort": 0.99,
+    "rbmap_checkpoint": 1.39,
+    "unionfind": 1.27,
+    "geomean": 1.09,
+}
+
+#: Paper-reported speedups (Figure 10): rgn optimisations over the λrc
+#: simplifier.
+PAPER_FIGURE10 = {
+    "binarytrees-int": 1.05,
+    "binarytrees": 1.0,
+    "const_fold": 0.98,
+    "deriv": 1.05,
+    "filter": 0.95,
+    "qsort": 0.97,
+    "rbmap_checkpoint": 1.0,
+    "unionfind": 0.98,
+    "geomean": 1.0,
+}
+
+#: Figure 11: the qualitative ecosystem comparison, as reproduced by this
+#: repository (feature -> (baseline pipeline, lp+rgn pipeline)).
+FIGURE11_ROWS = [
+    ("Backend", "C-like emission (c_backend)", "mini-MLIR (lp + rgn dialects)"),
+    ("Vectorization", "No", "possible via dialects (affine/linalg analogue)"),
+    ("Testing harness", "ad-hoc scripts", "pytest + textual IR FileCheck-style tests"),
+    ("Constant folding", "hand-written (λpure simplifier)", "rewrite patterns (constant-fold pass)"),
+    ("CSE", "hand-written", "builtin pass (cse, extended by region-gvn)"),
+    ("DCE", "hand-written", "builtin pass (dce / dead-region-elimination)"),
+    ("Inliner", "hand-written join inlining", "builtin pass (inline)"),
+    ("Test minimization", "none", "tools/reduce (mlir-reduce analogue)"),
+    ("Debug information", "none", "value name hints preserved end-to-end"),
+    ("IDE support", "none", "textual IR + parser (LSP-ready)"),
+    ("Tail call optimization", "heuristic", "guaranteed (musttail attribute)"),
+]
+
+
+def _bar(value: float, scale: int = 40) -> str:
+    filled = max(0, min(int(round(value * scale / 1.5)), scale))
+    return "#" * filled
+
+
+def format_speedup_figure(
+    data: FigureData,
+    title: str,
+    paper: Optional[dict] = None,
+    extra_label: Optional[str] = None,
+) -> str:
+    lines: List[str] = []
+    lines.append(title)
+    lines.append("=" * len(title))
+    header = f"{'benchmark':20s} {'speedup':>8s}"
+    if extra_label:
+        header += f" {extra_label:>10s}"
+    if paper:
+        header += f" {'paper':>8s}"
+    lines.append(header)
+    for index, row in enumerate(data.rows):
+        line = f"{row.benchmark:20s} {row.speedup:8.3f}"
+        if extra_label:
+            other = data.extra_series[extra_label][index]
+            line += f" {other.speedup:10.3f}"
+        if paper:
+            line += f" {paper.get(row.benchmark, float('nan')):8.2f}"
+        line += "  " + _bar(row.speedup)
+        lines.append(line)
+    summary = f"{'geomean':20s} {data.geomean:8.3f}"
+    if extra_label:
+        summary += f" {data.geomean_of(extra_label):10.3f}"
+    if paper:
+        summary += f" {paper.get('geomean', float('nan')):8.2f}"
+    lines.append("-" * len(header))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def figure9_report(harness: Optional[EvaluationHarness] = None) -> str:
+    harness = harness or EvaluationHarness()
+    data = harness.figure9()
+    return format_speedup_figure(
+        data,
+        "Figure 9: speedup of the lp+rgn backend over the baseline (leanc)",
+        paper=PAPER_FIGURE9,
+    )
+
+
+def figure10_report(harness: Optional[EvaluationHarness] = None) -> str:
+    harness = harness or EvaluationHarness()
+    data = harness.figure10()
+    return format_speedup_figure(
+        data,
+        "Figure 10: speedup of rgn optimisations over the λrc simplifier "
+        "(and of no optimisation, right column)",
+        paper=PAPER_FIGURE10,
+        extra_label="none",
+    )
+
+
+def figure11_table() -> str:
+    lines = [
+        "Figure 11: ecosystem comparison (baseline λrc+C vs lp+rgn)",
+        "=" * 60,
+        f"{'Feature':24s} {'λrc + C':34s} {'lp + rgn'}",
+        "-" * 110,
+    ]
+    for feature, old, new in FIGURE11_ROWS:
+        lines.append(f"{feature:24s} {old:34s} {new}")
+    return "\n".join(lines)
+
+
+def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
+    harness = harness or EvaluationHarness()
+    report = harness.verify_correctness()
+    passed = sum(1 for ok in report.values() if ok)
+    lines = ["Benchmark-suite correctness (both backends vs reference):"]
+    for name, ok in report.items():
+        lines.append(f"  {name:20s} {'PASS' if ok else 'FAIL'}")
+    lines.append(f"{passed}/{len(report)} benchmarks agree with the reference")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=["9", "10", "11"], default=None)
+    parser.add_argument("--all", action="store_true", help="print every figure")
+    parser.add_argument(
+        "--correctness", action="store_true", help="print the correctness report"
+    )
+    args = parser.parse_args(argv)
+
+    printed = False
+    harness = EvaluationHarness()
+    if args.correctness:
+        print(correctness_report(harness))
+        printed = True
+    if args.all or args.figure == "9":
+        print(figure9_report(harness))
+        print()
+        printed = True
+    if args.all or args.figure == "10":
+        print(figure10_report(harness))
+        print()
+        printed = True
+    if args.all or args.figure == "11":
+        print(figure11_table())
+        printed = True
+    if not printed:
+        parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Evaluation harness: runs the benchmark suite through the pipeline variants
+and computes the speedup series of Figures 9 and 10."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..backend.pipeline import (
+    FIGURE10_VARIANTS,
+    PipelineOptions,
+    run_baseline,
+    run_mlir,
+    run_reference,
+)
+from .benchmarks import DEFAULT_SIZES, benchmark_sources
+
+
+@dataclass
+class VariantMeasurement:
+    """One (benchmark, pipeline-variant) measurement."""
+
+    benchmark: str
+    variant: str
+    value: object
+    total_cost: int
+    total_operations: int
+    wall_time_seconds: float
+    allocations: int
+    rc_ops: int
+
+
+@dataclass
+class SpeedupRow:
+    """One bar of a speedup figure."""
+
+    benchmark: str
+    speedup: float
+    baseline_cost: int
+    candidate_cost: int
+
+
+@dataclass
+class FigureData:
+    """All rows of one figure plus the geometric-mean summary."""
+
+    figure: str
+    rows: List[SpeedupRow] = field(default_factory=list)
+    extra_series: Dict[str, List[SpeedupRow]] = field(default_factory=dict)
+
+    @property
+    def geomean(self) -> float:
+        return geometric_mean([r.speedup for r in self.rows])
+
+    def geomean_of(self, series: str) -> float:
+        return geometric_mean([r.speedup for r in self.extra_series[series]])
+
+
+def geometric_mean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _measure(benchmark: str, variant: str, source: str) -> VariantMeasurement:
+    if variant == "baseline":
+        result = run_baseline(source)
+    else:
+        options = (
+            PipelineOptions()
+            if variant == "default"
+            else PipelineOptions.variant(variant)
+        )
+        options.verify_each = False
+        result = run_mlir(source, options)
+    counts = result.metrics.counts
+    return VariantMeasurement(
+        benchmark=benchmark,
+        variant=variant,
+        value=result.value,
+        total_cost=result.metrics.total_cost(),
+        total_operations=result.metrics.total_operations(),
+        wall_time_seconds=result.metrics.wall_time_seconds,
+        allocations=result.heap_stats["allocations"],
+        rc_ops=counts.get("rc", 0),
+    )
+
+
+class EvaluationHarness:
+    """Runs every benchmark through the requested pipeline variants."""
+
+    def __init__(self, sizes: Optional[Dict[str, Dict[str, int]]] = None):
+        self.sizes = sizes or DEFAULT_SIZES
+        self.sources = benchmark_sources(self.sizes)
+
+    # -- correctness ------------------------------------------------------------
+    def verify_correctness(self) -> Dict[str, bool]:
+        """Check that every backend agrees with the reference interpreter."""
+        report: Dict[str, bool] = {}
+        for name, source in self.sources.items():
+            expected = run_reference(source)
+            baseline = run_baseline(source)
+            mlir = run_mlir(source)
+            report[name] = baseline.value == expected and mlir.value == expected
+        return report
+
+    # -- Figure 9 -----------------------------------------------------------------------
+    def figure9(self) -> FigureData:
+        """Speedup of the lp+rgn backend over the baseline ("leanc") backend."""
+        data = FigureData(figure="figure9")
+        for name, source in self.sources.items():
+            baseline = _measure(name, "baseline", source)
+            mlir = _measure(name, "default", source)
+            if baseline.value != mlir.value:
+                raise AssertionError(
+                    f"{name}: backends disagree "
+                    f"({baseline.value!r} vs {mlir.value!r})"
+                )
+            data.rows.append(
+                SpeedupRow(
+                    benchmark=name,
+                    speedup=baseline.total_cost / mlir.total_cost,
+                    baseline_cost=baseline.total_cost,
+                    candidate_cost=mlir.total_cost,
+                )
+            )
+        return data
+
+    # -- Figure 10 -----------------------------------------------------------------------
+    def figure10(self) -> FigureData:
+        """Speedup of rgn optimisations (and of no optimisation) over the
+        λpure-simplifier variant of the MLIR pipeline."""
+        data = FigureData(figure="figure10")
+        data.extra_series["none"] = []
+        for name, source in self.sources.items():
+            simplifier = _measure(name, "simplifier", source)
+            rgn = _measure(name, "rgn", source)
+            none = _measure(name, "none", source)
+            values = {simplifier.value, rgn.value, none.value}
+            if len(values) != 1:
+                raise AssertionError(f"{name}: pipeline variants disagree: {values}")
+            data.rows.append(
+                SpeedupRow(
+                    benchmark=name,
+                    speedup=simplifier.total_cost / rgn.total_cost,
+                    baseline_cost=simplifier.total_cost,
+                    candidate_cost=rgn.total_cost,
+                )
+            )
+            data.extra_series["none"].append(
+                SpeedupRow(
+                    benchmark=name,
+                    speedup=simplifier.total_cost / none.total_cost,
+                    baseline_cost=simplifier.total_cost,
+                    candidate_cost=none.total_cost,
+                )
+            )
+        return data
+
+    # -- raw measurements ---------------------------------------------------------------------
+    def all_measurements(self) -> List[VariantMeasurement]:
+        measurements: List[VariantMeasurement] = []
+        for name, source in self.sources.items():
+            for variant in ("baseline", "default", *FIGURE10_VARIANTS):
+                measurements.append(_measure(name, variant, source))
+        return measurements

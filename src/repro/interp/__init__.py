@@ -1,0 +1,21 @@
+"""Interpreters and the shared cost model."""
+
+from .cfg_interp import CfgInterpreter, CfgInterpreterError, run_cfg_module
+from .metrics import DEFAULT_COSTS, ExecutionMetrics
+from .rc_interp import RcInterpreter, RunResult, run_rc_program
+from .reference import ReferenceInterpreter, RefClosure, RefCtor, normalize
+
+__all__ = [
+    "CfgInterpreter",
+    "CfgInterpreterError",
+    "run_cfg_module",
+    "DEFAULT_COSTS",
+    "ExecutionMetrics",
+    "RcInterpreter",
+    "RunResult",
+    "run_rc_program",
+    "ReferenceInterpreter",
+    "RefClosure",
+    "RefCtor",
+    "normalize",
+]

@@ -1,0 +1,70 @@
+"""Deterministic cost model shared by every interpreter.
+
+Native execution is unavailable in this reproduction, so the evaluation
+(Figures 9 and 10) compares pipelines by the *cost-weighted number of
+executed operations*.  Both backends charge the same costs for the same
+dynamic events (an allocation, a runtime call, a branch, ...), which is what
+makes the speedup ratios meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Cost charged per dynamic event category.
+DEFAULT_COSTS: Dict[str, int] = {
+    "arith": 1,          # machine arithmetic / comparison
+    "branch": 1,         # conditional or multi-way branch taken
+    "jump": 1,           # unconditional jump / join-point jump
+    "call": 4,           # direct call of a known function
+    "return": 1,
+    "runtime_call": 8,   # call into the LEAN runtime (big-int arithmetic, arrays, ...)
+    "alloc_ctor": 10,    # heap allocation of a constructor
+    "alloc_closure": 12, # heap allocation of a closure
+    "apply": 12,         # closure extension / saturation (lean_apply_n)
+    "proj": 2,           # field projection
+    "getlabel": 1,       # read a constructor tag
+    "rc": 2,             # reference count increment / decrement
+    "move": 1,           # register-level move (block-argument passing, literals)
+    "const": 0,          # constant materialisation (an immediate in native code)
+    "global": 2,         # global slot load/store
+}
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters collected while interpreting one program execution."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    costs: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_COSTS))
+    wall_time_seconds: float = 0.0
+
+    def charge(self, category: str, times: int = 1) -> None:
+        self.counts[category] = self.counts.get(category, 0) + times
+
+    def total_operations(self) -> int:
+        return sum(self.counts.values())
+
+    def total_cost(self) -> int:
+        """Cost-weighted operation count (the quantity the figures compare)."""
+        return sum(
+            self.costs.get(category, 1) * count
+            for category, count in self.counts.items()
+        )
+
+    def merged_with(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
+        merged = ExecutionMetrics(costs=dict(self.costs))
+        for source in (self, other):
+            for category, count in source.counts.items():
+                merged.counts[category] = merged.counts.get(category, 0) + count
+        merged.wall_time_seconds = self.wall_time_seconds + other.wall_time_seconds
+        return merged
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counts": dict(self.counts),
+            "total_operations": self.total_operations(),
+            "total_cost": self.total_cost(),
+            "wall_time_seconds": self.wall_time_seconds,
+        }

@@ -1,0 +1,171 @@
+"""Attributes: compile-time constant data attached to operations.
+
+Like MLIR attributes, these are immutable value objects.  The printer emits
+them inside the ``{...}`` attribute dictionary of the generic operation form
+and the parser reads them back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from .types import IntegerType, Type, i64
+
+
+class Attribute:
+    """Base class of all attributes."""
+
+    def _key(self) -> Tuple:
+        return (type(self).__name__,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Attribute) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self})"
+
+
+class IntegerAttr(Attribute):
+    """Integer constant with an associated integer type, e.g. ``42 : i64``."""
+
+    def __init__(self, value: int, type: Optional[Type] = None):
+        self.value = int(value)
+        self.type = type if type is not None else i64
+
+    def _key(self):
+        return ("int", self.value, self.type)
+
+    def __str__(self):
+        return f"{self.value} : {self.type}"
+
+
+class BoolAttr(Attribute):
+    """Boolean constant, printed ``true`` / ``false``."""
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def _key(self):
+        return ("bool", self.value)
+
+    def __str__(self):
+        return "true" if self.value else "false"
+
+
+class FloatAttr(Attribute):
+    """Floating point constant, e.g. ``90.0 : f64``."""
+
+    def __init__(self, value: float, type: Optional[Type] = None):
+        from .types import f64
+
+        self.value = float(value)
+        self.type = type if type is not None else f64
+
+    def _key(self):
+        return ("float", self.value, self.type)
+
+    def __str__(self):
+        return f"{self.value} : {self.type}"
+
+
+class StringAttr(Attribute):
+    """String constant, printed with double quotes."""
+
+    def __init__(self, value: str):
+        self.value = str(value)
+
+    def _key(self):
+        return ("str", self.value)
+
+    def __str__(self):
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+
+class SymbolRefAttr(Attribute):
+    """Reference to a symbol (function or global), printed ``@name``."""
+
+    def __init__(self, name: str):
+        self.name = str(name)
+
+    def _key(self):
+        return ("symref", self.name)
+
+    def __str__(self):
+        return f"@{self.name}"
+
+
+class TypeAttr(Attribute):
+    """A type used as an attribute (e.g. the function type of ``func.func``)."""
+
+    def __init__(self, type: Type):
+        self.type = type
+
+    def _key(self):
+        return ("type", self.type)
+
+    def __str__(self):
+        return str(self.type)
+
+
+class ArrayAttr(Attribute):
+    """An ordered list of attributes, printed ``[a, b, c]``."""
+
+    def __init__(self, elements: Sequence[Attribute]):
+        self.elements: Tuple[Attribute, ...] = tuple(elements)
+
+    def _key(self):
+        return ("array", self.elements)
+
+    def __len__(self):
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __getitem__(self, i):
+        return self.elements[i]
+
+    def __str__(self):
+        return "[" + ", ".join(str(e) for e in self.elements) + "]"
+
+
+class UnitAttr(Attribute):
+    """A unit attribute whose presence alone carries meaning."""
+
+    def _key(self):
+        return ("unit",)
+
+    def __str__(self):
+        return "unit"
+
+
+class DictAttr(Attribute):
+    """A dictionary of named attributes, printed ``{a = ..., b = ...}``."""
+
+    def __init__(self, entries: Dict[str, Attribute]):
+        self.entries = dict(entries)
+
+    def _key(self):
+        return ("dict", tuple(sorted(self.entries.items())))
+
+    def __getitem__(self, key):
+        return self.entries[key]
+
+    def __contains__(self, key):
+        return key in self.entries
+
+    def __str__(self):
+        inner = ", ".join(f"{k} = {v}" for k, v in sorted(self.entries.items()))
+        return "{" + inner + "}"
+
+
+def int_attr(value: int, width: int = 64) -> IntegerAttr:
+    """Convenience constructor for an :class:`IntegerAttr` of width ``width``."""
+    return IntegerAttr(value, IntegerType(width))

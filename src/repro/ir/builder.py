@@ -1,0 +1,86 @@
+"""IR builder with an insertion point, mirroring MLIR's ``OpBuilder``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core import Block, Operation, Region
+
+
+class InsertionPoint:
+    """A position inside a block where new operations are inserted."""
+
+    def __init__(self, block: Block, index: Optional[int] = None):
+        self.block = block
+        self.index = index if index is not None else len(block.operations)
+
+    @classmethod
+    def at_end(cls, block: Block) -> "InsertionPoint":
+        return cls(block, len(block.operations))
+
+    @classmethod
+    def at_start(cls, block: Block) -> "InsertionPoint":
+        return cls(block, 0)
+
+    @classmethod
+    def before(cls, op: Operation) -> "InsertionPoint":
+        return cls(op.parent, op.parent.operations.index(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "InsertionPoint":
+        return cls(op.parent, op.parent.operations.index(op) + 1)
+
+
+class Builder:
+    """Creates operations at a movable insertion point."""
+
+    def __init__(self, insertion_point: Optional[InsertionPoint] = None):
+        self._ip = insertion_point
+
+    # -- insertion point management ------------------------------------------
+    @property
+    def insertion_point(self) -> Optional[InsertionPoint]:
+        return self._ip
+
+    def set_insertion_point(self, ip: InsertionPoint) -> None:
+        self._ip = ip
+
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self._ip = InsertionPoint.at_end(block)
+
+    def set_insertion_point_to_start(self, block: Block) -> None:
+        self._ip = InsertionPoint.at_start(block)
+
+    def set_insertion_point_before(self, op: Operation) -> None:
+        self._ip = InsertionPoint.before(op)
+
+    def set_insertion_point_after(self, op: Operation) -> None:
+        self._ip = InsertionPoint.after(op)
+
+    # -- insertion --------------------------------------------------------------
+    def insert(self, op: Operation) -> Operation:
+        """Insert ``op`` at the current insertion point and advance past it."""
+        if self._ip is None:
+            raise ValueError("builder has no insertion point")
+        self._ip.block.insert(self._ip.index, op)
+        self._ip.index += 1
+        return op
+
+    def create(self, op_class, *args, **kwargs) -> Operation:
+        """Construct ``op_class(*args, **kwargs)`` and insert it."""
+        return self.insert(op_class(*args, **kwargs))
+
+    # -- block creation -----------------------------------------------------------
+    def create_block(self, region: Region, arg_types=()) -> Block:
+        """Append a new block to ``region`` and move the insertion point to it."""
+        block = Block(arg_types)
+        region.add_block(block)
+        self.set_insertion_point_to_end(block)
+        return block
+
+    def create_block_before(self, anchor: Block, arg_types=()) -> Block:
+        region = anchor.parent
+        block = Block(arg_types)
+        region.insert_block(anchor.index_in_region(), block)
+        self.set_insertion_point_to_end(block)
+        return block

@@ -1,0 +1,578 @@
+"""Core IR data structures: values, operations, blocks and regions.
+
+This is a compact re-implementation of the structural part of MLIR that the
+paper relies on:
+
+* SSA :class:`Value`\\ s produced either by operations (:class:`OpResult`) or
+  as block arguments (:class:`BlockArgument`), with explicit def-use chains.
+* :class:`Operation`\\ s carrying operands, results, attributes, successor
+  blocks (for CFG terminators) and *nested regions* — the central construct
+  the paper exploits to give functional sub-expressions first-class SSA
+  names.
+* :class:`Block`\\ s (sequences of operations with block arguments acting as
+  phi nodes) and :class:`Region`\\ s (single-entry lists of blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .attributes import Attribute
+from .types import Type
+
+
+class Use:
+    """A single use of a :class:`Value`: ``owner.operands[index] is value``."""
+
+    __slots__ = ("owner", "index")
+
+    def __init__(self, owner: "Operation", index: int):
+        self.owner = owner
+        self.index = index
+
+    def __repr__(self):  # pragma: no cover - debugging helper
+        return f"Use({self.owner.name}, {self.index})"
+
+
+class Value:
+    """Base class of SSA values."""
+
+    def __init__(self, type: Type):
+        self.type = type
+        self.uses: List[Use] = []
+        self.name_hint: Optional[str] = None
+
+    # -- use management -------------------------------------------------
+    def add_use(self, use: Use) -> None:
+        self.uses.append(use)
+
+    def remove_use(self, owner: "Operation", index: int) -> None:
+        for i, use in enumerate(self.uses):
+            if use.owner is owner and use.index == index:
+                del self.uses[i]
+                return
+
+    @property
+    def has_uses(self) -> bool:
+        return bool(self.uses)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self.uses)
+
+    def users(self) -> List["Operation"]:
+        """Distinct operations using this value, in use order."""
+        seen = []
+        for use in self.uses:
+            if use.owner not in seen:
+                seen.append(use.owner)
+        return seen
+
+    def replace_all_uses_with(self, new_value: "Value") -> None:
+        """Rewrite every use of ``self`` to use ``new_value`` instead."""
+        if new_value is self:
+            return
+        for use in list(self.uses):
+            use.owner.set_operand(use.index, new_value)
+
+    def owner_op(self) -> Optional["Operation"]:
+        """The defining operation, or None for block arguments."""
+        return None
+
+    def owner_block(self) -> Optional["Block"]:
+        """The block in which this value becomes available."""
+        return None
+
+
+class OpResult(Value):
+    """A result produced by an operation."""
+
+    def __init__(self, type: Type, op: "Operation", index: int):
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    def owner_op(self) -> Optional["Operation"]:
+        return self.op
+
+    def owner_block(self) -> Optional["Block"]:
+        return self.op.parent
+
+    def __repr__(self):  # pragma: no cover - debugging helper
+        return f"<result {self.index} of {self.op.name}>"
+
+
+class BlockArgument(Value):
+    """An argument of a block (serves the role of a phi node)."""
+
+    def __init__(self, type: Type, block: "Block", index: int):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    def owner_block(self) -> Optional["Block"]:
+        return self.block
+
+    def __repr__(self):  # pragma: no cover - debugging helper
+        return f"<blockarg {self.index}>"
+
+
+class IRMapping:
+    """Value/block remapping used while cloning or inlining IR."""
+
+    def __init__(self):
+        self.value_map: Dict[Value, Value] = {}
+        self.block_map: Dict["Block", "Block"] = {}
+
+    def map_value(self, old: Value, new: Value) -> None:
+        self.value_map[old] = new
+
+    def map_block(self, old: "Block", new: "Block") -> None:
+        self.block_map[old] = new
+
+    def lookup(self, value: Value) -> Value:
+        return self.value_map.get(value, value)
+
+    def lookup_block(self, block: "Block") -> "Block":
+        return self.block_map.get(block, block)
+
+
+class Operation:
+    """A generic IR operation.
+
+    Registered operations subclass :class:`Operation`, set ``OP_NAME`` and
+    ``TRAITS`` and usually provide a convenience constructor plus named
+    accessors.  All structural manipulation happens through the base class so
+    that generic passes work on any operation.
+    """
+
+    OP_NAME: str = "builtin.unregistered"
+    TRAITS: frozenset = frozenset()
+
+    def __init__(
+        self,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: Optional[Dict[str, Attribute]] = None,
+        regions=None,
+        successors: Sequence["Block"] = (),
+        name: Optional[str] = None,
+    ):
+        self._name = name
+        self._operands: List[Value] = []
+        self.results: List[OpResult] = []
+        self.attributes: Dict[str, Attribute] = dict(attributes or {})
+        self.regions: List[Region] = []
+        self.successors: List[Block] = list(successors)
+        self.parent: Optional[Block] = None
+
+        for value in operands:
+            self._append_operand(value)
+        for i, rtype in enumerate(result_types):
+            self.results.append(OpResult(rtype, self, i))
+        if regions is None:
+            regions = 0
+        if isinstance(regions, int):
+            for _ in range(regions):
+                self.regions.append(Region(parent=self))
+        else:
+            for r in regions:
+                r.parent = self
+                self.regions.append(r)
+
+    # -- identity --------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name if self._name is not None else type(self).OP_NAME
+
+    def has_trait(self, trait) -> bool:
+        return trait in type(self).TRAITS
+
+    # -- operands ---------------------------------------------------------
+    @property
+    def operands(self) -> Tuple[Value, ...]:
+        return tuple(self._operands)
+
+    def _append_operand(self, value: Value) -> None:
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(Use(self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        old.remove_use(self, index)
+        self._operands[index] = value
+        value.add_use(Use(self, index))
+
+    def set_operands(self, values: Sequence[Value]) -> None:
+        self.drop_operand_uses()
+        self._operands = []
+        for v in values:
+            self._append_operand(v)
+
+    def insert_operand(self, index: int, value: Value) -> None:
+        values = list(self._operands)
+        values.insert(index, value)
+        self.set_operands(values)
+
+    def erase_operand(self, index: int) -> None:
+        values = list(self._operands)
+        del values[index]
+        self.set_operands(values)
+
+    def drop_operand_uses(self) -> None:
+        for i, v in enumerate(self._operands):
+            v.remove_use(self, i)
+
+    # -- results ----------------------------------------------------------
+    def result(self, index: int = 0) -> OpResult:
+        return self.results[index]
+
+    @property
+    def num_results(self) -> int:
+        return len(self.results)
+
+    def replace_all_uses_with(self, replacements) -> None:
+        """Replace all uses of this op's results.
+
+        ``replacements`` is either another :class:`Operation` with the same
+        number of results or a sequence of values.
+        """
+        if isinstance(replacements, Operation):
+            replacements = replacements.results
+        if isinstance(replacements, Value):
+            replacements = [replacements]
+        if len(replacements) != len(self.results):
+            raise ValueError(
+                f"replacement count mismatch: {len(replacements)} vs "
+                f"{len(self.results)} for {self.name}"
+            )
+        for old, new in zip(self.results, replacements):
+            old.replace_all_uses_with(new)
+
+    def results_used(self) -> bool:
+        return any(r.has_uses for r in self.results)
+
+    # -- attributes --------------------------------------------------------
+    def get_attr(self, name: str) -> Optional[Attribute]:
+        return self.attributes.get(name)
+
+    def set_attr(self, name: str, attr: Attribute) -> None:
+        self.attributes[name] = attr
+
+    def remove_attr(self, name: str) -> None:
+        self.attributes.pop(name, None)
+
+    # -- structure ---------------------------------------------------------
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is not None and self.parent.parent is not None:
+            return self.parent.parent.parent
+        return None
+
+    def parent_region(self) -> Optional["Region"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def ancestors(self) -> Iterator["Operation"]:
+        op = self.parent_op()
+        while op is not None:
+            yield op
+            op = op.parent_op()
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        if other is self:
+            return True
+        return any(a is self for a in other.ancestors())
+
+    def block_index(self) -> int:
+        """Index of this operation inside its parent block."""
+        if self.parent is None:
+            raise ValueError("operation has no parent block")
+        return self.parent.operations.index(self)
+
+    def is_before_in_block(self, other: "Operation") -> bool:
+        if self.parent is not other.parent or self.parent is None:
+            raise ValueError("operations are not in the same block")
+        return self.block_index() < other.block_index()
+
+    def move_before(self, other: "Operation") -> None:
+        self.detach()
+        other.parent.insert_before(self, other)
+
+    def move_after(self, other: "Operation") -> None:
+        self.detach()
+        other.parent.insert_after(self, other)
+
+    def detach(self) -> None:
+        """Remove from the parent block without touching uses."""
+        if self.parent is not None:
+            self.parent.operations.remove(self)
+            self.parent = None
+
+    def erase(self, *, allow_uses: bool = False) -> None:
+        """Erase this operation (and, recursively, its regions).
+
+        The results must be unused unless ``allow_uses`` is set (used when a
+        whole enclosing structure is being discarded).
+        """
+        if not allow_uses and self.results_used():
+            raise ValueError(f"erasing {self.name} whose results still have uses")
+        for region in self.regions:
+            region.drop_all_ops()
+        self.drop_operand_uses()
+        self.detach()
+
+    # -- cloning -------------------------------------------------------------
+    def clone(self, mapper: Optional[IRMapping] = None) -> "Operation":
+        """Deep-clone this operation (including nested regions).
+
+        Operand values and successor blocks are remapped through ``mapper``;
+        values absent from the mapping are reused as-is (they are defined
+        outside the cloned IR).
+        """
+        mapper = mapper if mapper is not None else IRMapping()
+        new_op = _build_like(
+            type(self),
+            name=self._name,
+            operands=[mapper.lookup(v) for v in self._operands],
+            result_types=[r.type for r in self.results],
+            attributes=dict(self.attributes),
+            successors=[mapper.lookup_block(b) for b in self.successors],
+            num_regions=0,
+        )
+        for old_res, new_res in zip(self.results, new_op.results):
+            mapper.map_value(old_res, new_res)
+            new_res.name_hint = old_res.name_hint
+        for region in self.regions:
+            new_region = Region(parent=new_op)
+            new_op.regions.append(new_region)
+            region.clone_into(new_region, mapper)
+        return new_op
+
+    # -- traversal -------------------------------------------------------------
+    def walk(self) -> Iterator["Operation"]:
+        """Pre-order walk of this op and every op nested in its regions."""
+        yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk()
+
+    # -- verification -----------------------------------------------------------
+    def verify_(self) -> None:
+        """Op-specific verification hook; subclasses override."""
+
+    def __str__(self):
+        from .printer import print_op
+
+        return print_op(self)
+
+    def __repr__(self):  # pragma: no cover - debugging helper
+        return f"<{self.name} at {hex(id(self))}>"
+
+
+def _build_like(
+    cls,
+    name,
+    operands,
+    result_types,
+    attributes,
+    successors,
+    num_regions,
+) -> Operation:
+    """Construct an operation of class ``cls`` bypassing its custom
+    ``__init__`` (used by cloning and the generic parser)."""
+    op = object.__new__(cls)
+    Operation.__init__(
+        op,
+        operands=operands,
+        result_types=result_types,
+        attributes=attributes,
+        regions=num_regions,
+        successors=successors,
+        name=name,
+    )
+    return op
+
+
+class Block:
+    """A straight-line sequence of operations with block arguments."""
+
+    def __init__(self, arg_types: Sequence[Type] = ()):
+        self.arguments: List[BlockArgument] = []
+        self.operations: List[Operation] = []
+        self.parent: Optional[Region] = None
+        for t in arg_types:
+            self.add_argument(t)
+
+    # -- arguments ----------------------------------------------------------
+    def add_argument(self, type: Type, name_hint: Optional[str] = None) -> BlockArgument:
+        arg = BlockArgument(type, self, len(self.arguments))
+        arg.name_hint = name_hint
+        self.arguments.append(arg)
+        return arg
+
+    def erase_argument(self, index: int) -> None:
+        arg = self.arguments[index]
+        if arg.has_uses:
+            raise ValueError("erasing block argument that still has uses")
+        del self.arguments[index]
+        for i, a in enumerate(self.arguments):
+            a.index = i
+
+    # -- operations ----------------------------------------------------------
+    def append(self, op: Operation) -> Operation:
+        op.parent = self
+        self.operations.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        op.parent = self
+        self.operations.insert(index, op)
+        return op
+
+    def insert_before(self, op: Operation, anchor: Operation) -> Operation:
+        return self.insert(self.operations.index(anchor), op)
+
+    def insert_after(self, op: Operation, anchor: Operation) -> Operation:
+        return self.insert(self.operations.index(anchor) + 1, op)
+
+    @property
+    def first_op(self) -> Optional[Operation]:
+        return self.operations[0] if self.operations else None
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        from .traits import IsTerminator
+
+        if self.operations and self.operations[-1].has_trait(IsTerminator):
+            return self.operations[-1]
+        return None
+
+    def successors(self) -> List["Block"]:
+        term = self.terminator
+        return list(term.successors) if term is not None else []
+
+    def predecessors(self) -> List["Block"]:
+        """Blocks in the same region whose terminator targets this block."""
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+    def index_in_region(self) -> int:
+        return self.parent.blocks.index(self)
+
+    def split_before(self, op: Operation) -> "Block":
+        """Split this block into two: ``op`` and everything after it move to a
+        new block appended right after this one in the region."""
+        idx = self.operations.index(op)
+        new_block = Block()
+        self.parent.insert_block(self.index_in_region() + 1, new_block)
+        moved = self.operations[idx:]
+        self.operations = self.operations[:idx]
+        for m in moved:
+            m.parent = new_block
+            new_block.operations.append(m)
+        return new_block
+
+    def drop_all_ops(self) -> None:
+        for op in self.operations:
+            for region in op.regions:
+                region.drop_all_ops()
+            op.drop_operand_uses()
+            op.parent = None
+        self.operations = []
+
+    def erase(self) -> None:
+        """Erase this block and all its operations from the parent region."""
+        self.drop_all_ops()
+        if self.parent is not None:
+            self.parent.blocks.remove(self)
+            self.parent = None
+
+    def walk(self) -> Iterator[Operation]:
+        for op in list(self.operations):
+            yield from op.walk()
+
+    def __repr__(self):  # pragma: no cover - debugging helper
+        return f"<block with {len(self.operations)} ops>"
+
+
+class Region:
+    """A single-entry list of blocks nested inside an operation."""
+
+    def __init__(self, parent: Optional[Operation] = None):
+        self.blocks: List[Block] = []
+        self.parent: Optional[Operation] = parent
+
+    # -- blocks ----------------------------------------------------------------
+    def add_block(self, block: Optional[Block] = None) -> Block:
+        block = block if block is not None else Block()
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def insert_block(self, index: int, block: Block) -> Block:
+        block.parent = self
+        self.blocks.insert(index, block)
+        return block
+
+    @property
+    def entry_block(self) -> Optional[Block]:
+        return self.blocks[0] if self.blocks else None
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    def single_block(self) -> Block:
+        if len(self.blocks) != 1:
+            raise ValueError(f"expected a single-block region, got {len(self.blocks)}")
+        return self.blocks[0]
+
+    # -- bulk operations ----------------------------------------------------------
+    def drop_all_ops(self) -> None:
+        for block in self.blocks:
+            block.drop_all_ops()
+            block.parent = None
+        self.blocks = []
+
+    def clone_into(self, dest: "Region", mapper: Optional[IRMapping] = None) -> None:
+        """Clone the blocks of this region into ``dest`` (appending)."""
+        mapper = mapper if mapper is not None else IRMapping()
+        # Create the destination blocks (and argument values) first so that
+        # forward branches and region-internal references remap correctly.
+        new_blocks = []
+        for block in self.blocks:
+            new_block = Block()
+            for arg in block.arguments:
+                new_arg = new_block.add_argument(arg.type, arg.name_hint)
+                mapper.map_value(arg, new_arg)
+            mapper.map_block(block, new_block)
+            new_blocks.append(new_block)
+        for block, new_block in zip(self.blocks, new_blocks):
+            dest.add_block(new_block)
+            for op in block.operations:
+                new_block.append(op.clone(mapper))
+
+    def take_blocks_from(self, other: "Region") -> None:
+        """Move all blocks of ``other`` to the end of this region."""
+        for block in list(other.blocks):
+            other.blocks.remove(block)
+            self.add_block(block)
+
+    def walk(self) -> Iterator[Operation]:
+        for block in list(self.blocks):
+            yield from block.walk()
+
+    def op_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def __repr__(self):  # pragma: no cover - debugging helper
+        return f"<region with {len(self.blocks)} blocks>"

@@ -1,0 +1,371 @@
+"""Parser for the generic textual form emitted by :mod:`repro.ir.printer`.
+
+The parser materialises registered operation classes (via the dialect
+registry) when possible and falls back to generic :class:`Operation`
+instances otherwise, mirroring MLIR's generic-form parsing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import types as ir_types
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from .core import Block, Operation, Region, Value, _build_like
+from .dialect import lookup_op
+
+
+class ParseError(Exception):
+    """Raised when the input text is not valid generic IR."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<PERCENT>%[A-Za-z0-9_$.\-]+)
+  | (?P<CARET>\^[A-Za-z0-9_$.\-]+)
+  | (?P<AT>@[A-Za-z0-9_$.\-]+)
+  | (?P<EXCLAIM>![A-Za-z0-9_$.\-]+)
+  | (?P<ARROW>->)
+  | (?P<FLOAT>-?\d+\.\d+(e[+-]?\d+)?)
+  | (?P<INT>-?\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_$.\-]*)
+  | (?P<PUNCT>[()\[\]{},=:])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self):  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = m.lastgroup
+        if kind != "WS":
+            tokens.append(Token(kind, m.group(), pos))
+        pos = m.end()
+    tokens.append(Token("EOF", "", pos))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.value_scope: List[Dict[str, Value]] = [{}]
+
+    # -- token helpers ----------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise ParseError(
+                f"expected {text or kind}, got {tok.text!r} at offset {tok.pos}"
+            )
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    # -- value scoping ------------------------------------------------------------
+    def define_value(self, name: str, value: Value) -> None:
+        self.value_scope[-1][name] = value
+
+    def lookup_value(self, name: str) -> Value:
+        for scope in reversed(self.value_scope):
+            if name in scope:
+                return scope[name]
+        raise ParseError(f"use of undefined value %{name}")
+
+    # -- types ----------------------------------------------------------------------
+    def parse_type(self) -> ir_types.Type:
+        tok = self.peek()
+        if tok.kind == "EXCLAIM":
+            self.next()
+            return ir_types.parse_type(tok.text)
+        if tok.kind == "IDENT":
+            self.next()
+            return ir_types.parse_type(tok.text)
+        if tok.kind == "PUNCT" and tok.text == "(":
+            inputs = self.parse_type_list_parens()
+            self.expect("ARROW")
+            if self.peek().kind == "PUNCT" and self.peek().text == "(":
+                results = self.parse_type_list_parens()
+            else:
+                results = [self.parse_type()]
+            return ir_types.FunctionType(inputs, results)
+        raise ParseError(f"expected a type, got {tok.text!r} at offset {tok.pos}")
+
+    def parse_type_list_parens(self) -> List[ir_types.Type]:
+        self.expect("PUNCT", "(")
+        result: List[ir_types.Type] = []
+        if not (self.peek().kind == "PUNCT" and self.peek().text == ")"):
+            result.append(self.parse_type())
+            while self.accept("PUNCT", ","):
+                result.append(self.parse_type())
+        self.expect("PUNCT", ")")
+        return result
+
+    def parse_function_signature(self) -> Tuple[List[ir_types.Type], List[ir_types.Type]]:
+        inputs = self.parse_type_list_parens()
+        self.expect("ARROW")
+        if self.peek().kind == "PUNCT" and self.peek().text == "(":
+            results = self.parse_type_list_parens()
+        else:
+            results = [self.parse_type()]
+        return inputs, results
+
+    # -- attributes ---------------------------------------------------------------------
+    def parse_attribute(self) -> Attribute:
+        tok = self.peek()
+        if tok.kind == "AT":
+            self.next()
+            return SymbolRefAttr(tok.text[1:])
+        if tok.kind == "STRING":
+            self.next()
+            return StringAttr(_unescape(tok.text))
+        if tok.kind == "IDENT" and tok.text in ("true", "false"):
+            self.next()
+            return BoolAttr(tok.text == "true")
+        if tok.kind == "IDENT" and tok.text == "unit":
+            self.next()
+            return UnitAttr()
+        if tok.kind == "FLOAT":
+            self.next()
+            type_ = ir_types.f64
+            if self.accept("PUNCT", ":"):
+                type_ = self.parse_type()
+            return FloatAttr(float(tok.text), type_)
+        if tok.kind == "INT":
+            self.next()
+            type_ = ir_types.i64
+            if self.accept("PUNCT", ":"):
+                type_ = self.parse_type()
+            return IntegerAttr(int(tok.text), type_)
+        if tok.kind == "PUNCT" and tok.text == "[":
+            self.next()
+            elements = []
+            if not (self.peek().kind == "PUNCT" and self.peek().text == "]"):
+                elements.append(self.parse_attribute())
+                while self.accept("PUNCT", ","):
+                    elements.append(self.parse_attribute())
+            self.expect("PUNCT", "]")
+            return ArrayAttr(elements)
+        if tok.kind == "PUNCT" and tok.text == "{":
+            return DictAttr(self.parse_attr_dict())
+        # Fall back to a type attribute.
+        return TypeAttr(self.parse_type())
+
+    def parse_attr_dict(self) -> Dict[str, Attribute]:
+        self.expect("PUNCT", "{")
+        entries: Dict[str, Attribute] = {}
+        if not (self.peek().kind == "PUNCT" and self.peek().text == "}"):
+            while True:
+                name_tok = self.next()
+                if name_tok.kind not in ("IDENT", "STRING"):
+                    raise ParseError(
+                        f"expected attribute name, got {name_tok.text!r}"
+                    )
+                name = (
+                    _unescape(name_tok.text)
+                    if name_tok.kind == "STRING"
+                    else name_tok.text
+                )
+                self.expect("PUNCT", "=")
+                entries[name] = self.parse_attribute()
+                if not self.accept("PUNCT", ","):
+                    break
+        self.expect("PUNCT", "}")
+        return entries
+
+    # -- operations -----------------------------------------------------------------------
+    def parse_operation(self) -> Operation:
+        result_names: List[str] = []
+        if self.peek().kind == "PERCENT":
+            result_names.append(self.next().text[1:])
+            while self.accept("PUNCT", ","):
+                result_names.append(self.expect("PERCENT").text[1:])
+            self.expect("PUNCT", "=")
+
+        name_tok = self.expect("STRING")
+        op_name = _unescape(name_tok.text)
+
+        self.expect("PUNCT", "(")
+        operand_names: List[str] = []
+        if not (self.peek().kind == "PUNCT" and self.peek().text == ")"):
+            operand_names.append(self.expect("PERCENT").text[1:])
+            while self.accept("PUNCT", ","):
+                operand_names.append(self.expect("PERCENT").text[1:])
+        self.expect("PUNCT", ")")
+
+        successor_names: List[str] = []
+        if self.peek().kind == "PUNCT" and self.peek().text == "[":
+            self.next()
+            successor_names.append(self.expect("CARET").text[1:])
+            while self.accept("PUNCT", ","):
+                successor_names.append(self.expect("CARET").text[1:])
+            self.expect("PUNCT", "]")
+
+        regions: List[Region] = []
+        if self.peek().kind == "PUNCT" and self.peek().text == "(":
+            # A region list only follows when a '{' opens right after '('.
+            if self.peek(1).kind == "PUNCT" and self.peek(1).text == "{":
+                self.next()
+                regions.append(self.parse_region())
+                while self.accept("PUNCT", ","):
+                    regions.append(self.parse_region())
+                self.expect("PUNCT", ")")
+
+        attributes: Dict[str, Attribute] = {}
+        if self.peek().kind == "PUNCT" and self.peek().text == "{":
+            attributes = self.parse_attr_dict()
+
+        self.expect("PUNCT", ":")
+        input_types, result_types = self.parse_function_signature()
+        if len(result_types) == 1 and result_types[0] == ir_types.none and not result_names:
+            result_types = []
+        if len(input_types) != len(operand_names):
+            raise ParseError(
+                f"operand count mismatch for {op_name}: "
+                f"{len(operand_names)} operands, {len(input_types)} types"
+            )
+
+        operands = [self.lookup_value(n) for n in operand_names]
+        successors = [self._block_for(n) for n in successor_names]
+        op_class = lookup_op(op_name) or Operation
+        op = _build_like(
+            op_class,
+            name=op_name if op_class is Operation else None,
+            operands=operands,
+            result_types=result_types,
+            attributes=attributes,
+            successors=successors,
+            num_regions=0,
+        )
+        for region in regions:
+            region.parent = op
+            op.regions.append(region)
+        if result_names and len(result_names) != len(op.results):
+            raise ParseError(
+                f"result count mismatch for {op_name}: "
+                f"{len(result_names)} names, {len(op.results)} results"
+            )
+        for name, result in zip(result_names, op.results):
+            self.define_value(name, result)
+            if not name.isdigit():
+                result.name_hint = name
+        return op
+
+    # -- regions and blocks -------------------------------------------------------------------
+    def parse_region(self) -> Region:
+        self.expect("PUNCT", "{")
+        region = Region()
+        self.value_scope.append({})
+        self._pending_blocks: Dict[str, Block]
+        pending_blocks: Dict[str, Block] = {}
+        self._block_maps.append(pending_blocks)
+
+        current_block: Optional[Block] = None
+        while not (self.peek().kind == "PUNCT" and self.peek().text == "}"):
+            if self.peek().kind == "CARET":
+                label_tok = self.next()
+                label = label_tok.text[1:]
+                block = pending_blocks.get(label)
+                if block is None:
+                    block = Block()
+                    pending_blocks[label] = block
+                region.add_block(block)
+                if self.peek().kind == "PUNCT" and self.peek().text == "(":
+                    self.next()
+                    while True:
+                        arg_name = self.expect("PERCENT").text[1:]
+                        self.expect("PUNCT", ":")
+                        arg_type = self.parse_type()
+                        arg = block.add_argument(arg_type)
+                        if not arg_name.isdigit():
+                            arg.name_hint = arg_name
+                        self.define_value(arg_name, arg)
+                        if not self.accept("PUNCT", ","):
+                            break
+                    self.expect("PUNCT", ")")
+                self.expect("PUNCT", ":")
+                current_block = block
+            else:
+                if current_block is None:
+                    current_block = Block()
+                    region.add_block(current_block)
+                current_block.append(self.parse_operation())
+        self.expect("PUNCT", "}")
+        self.value_scope.pop()
+        self._block_maps.pop()
+        return region
+
+    def _block_for(self, label: str) -> Block:
+        if not self._block_maps:
+            raise ParseError(f"successor ^{label} outside of a region")
+        blocks = self._block_maps[-1]
+        if label not in blocks:
+            blocks[label] = Block()
+        return blocks[label]
+
+    # -- entry point ---------------------------------------------------------------------------
+    def parse_module(self) -> Operation:
+        self._block_maps: List[Dict[str, Block]] = []
+        op = self.parse_operation()
+        self.expect("EOF")
+        return op
+
+
+def _unescape(quoted: str) -> str:
+    body = quoted[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_module(text: str) -> Operation:
+    """Parse a top-level operation (usually a ``builtin.module``)."""
+    from .dialect import ensure_dialects_loaded
+
+    ensure_dialects_loaded()
+    parser = Parser(text)
+    parser._block_maps = []
+    return parser.parse_module()

@@ -1,0 +1,225 @@
+"""Type system for the mini-MLIR IR.
+
+Types are immutable value objects: two types compare equal iff they print the
+same.  Dialects may define their own types (e.g. ``!lp.t``) by subclassing
+:class:`DialectType`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Type:
+    """Base class of all IR types.
+
+    Subclasses implement :meth:`_key` (a hashable tuple uniquely identifying
+    the type) and :meth:`__str__` (the textual form used by the printer and
+    parser).
+    """
+
+    def _key(self) -> Tuple:
+        return (type(self).__name__,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Type) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self})"
+
+
+class IntegerType(Type):
+    """Fixed-width signless integer type, printed ``i<width>``."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        self.width = int(width)
+
+    def _key(self):
+        return ("int", self.width)
+
+    def __str__(self):
+        return f"i{self.width}"
+
+
+class IndexType(Type):
+    """Platform-sized index type, printed ``index``."""
+
+    def _key(self):
+        return ("index",)
+
+    def __str__(self):
+        return "index"
+
+
+class FloatType(Type):
+    """IEEE float type, printed ``f<width>``."""
+
+    def __init__(self, width: int = 64):
+        if width not in (16, 32, 64):
+            raise ValueError(f"unsupported float width {width}")
+        self.width = width
+
+    def _key(self):
+        return ("float", self.width)
+
+    def __str__(self):
+        return f"f{self.width}"
+
+
+class NoneType(Type):
+    """Unit type for operations producing no meaningful value."""
+
+    def _key(self):
+        return ("none",)
+
+    def __str__(self):
+        return "none"
+
+
+class FunctionType(Type):
+    """Function type ``(inputs) -> (results)``."""
+
+    def __init__(self, inputs, results):
+        self.inputs: Tuple[Type, ...] = tuple(inputs)
+        self.results: Tuple[Type, ...] = tuple(results)
+
+    def _key(self):
+        return ("func", self.inputs, self.results)
+
+    def __str__(self):
+        ins = ", ".join(str(t) for t in self.inputs)
+        if len(self.results) == 1:
+            outs = str(self.results[0])
+        else:
+            outs = "(" + ", ".join(str(t) for t in self.results) + ")"
+        return f"({ins}) -> {outs}"
+
+
+class DialectType(Type):
+    """Base class for dialect-defined types, printed ``!<dialect>.<name>``."""
+
+    dialect = "unknown"
+    type_name = "unknown"
+
+    def _key(self):
+        return ("dialect", self.dialect, self.type_name)
+
+    def __str__(self):
+        return f"!{self.dialect}.{self.type_name}"
+
+
+class BoxType(DialectType):
+    """``!lp.t`` — the single boxed/heap value type of the lp dialect.
+
+    λrc is type erased: every heap value (constructor, closure, big integer,
+    array, boxed scalar) has this type.
+    """
+
+    dialect = "lp"
+    type_name = "t"
+
+
+class RegionType(DialectType):
+    """``!rgn.region`` — the type of first-class region values (``rgn.val``)."""
+
+    dialect = "rgn"
+    type_name = "region"
+
+
+# Commonly used singletons.
+i1 = IntegerType(1)
+i8 = IntegerType(8)
+i16 = IntegerType(16)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+f64 = FloatType(64)
+index = IndexType()
+none = NoneType()
+box = BoxType()
+region = RegionType()
+
+
+def parse_type(text: str) -> Type:
+    """Parse the textual form of a type.
+
+    Supports ``iN``, ``fN``, ``index``, ``none``, ``!dialect.name`` and
+    function types ``(a, b) -> c`` / ``(a) -> (b, c)``.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty type")
+    if text == "index":
+        return index
+    if text == "none":
+        return none
+    if text.startswith("i") and text[1:].isdigit():
+        return IntegerType(int(text[1:]))
+    if text.startswith("f") and text[1:].isdigit():
+        return FloatType(int(text[1:]))
+    if text.startswith("!"):
+        body = text[1:]
+        if "." not in body:
+            raise ValueError(f"malformed dialect type: {text!r}")
+        dialect, name = body.split(".", 1)
+        if (dialect, name) == ("lp", "t"):
+            return box
+        if (dialect, name) == ("rgn", "region"):
+            return region
+        t = DialectType()
+        t.dialect = dialect
+        t.type_name = name
+        return t
+    if text.startswith("("):
+        depth = 0
+        for i, ch in enumerate(text):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    inputs_text = text[1:i]
+                    rest = text[i + 1:].strip()
+                    break
+        else:
+            raise ValueError(f"unbalanced parentheses in type: {text!r}")
+        if not rest.startswith("->"):
+            raise ValueError(f"expected '->' in function type: {text!r}")
+        results_text = rest[2:].strip()
+        inputs = _split_type_list(inputs_text)
+        if results_text.startswith("(") and results_text.endswith(")"):
+            results = _split_type_list(results_text[1:-1])
+        else:
+            results = [results_text] if results_text else []
+        return FunctionType(
+            [parse_type(t) for t in inputs], [parse_type(t) for t in results]
+        )
+    raise ValueError(f"cannot parse type: {text!r}")
+
+
+def _split_type_list(text: str):
+    """Split a comma-separated type list, respecting nested parentheses."""
+    parts = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch in "(<[":
+            depth += 1
+        elif ch in ")>]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            if current.strip():
+                parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts

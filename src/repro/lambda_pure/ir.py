@@ -1,0 +1,399 @@
+"""λpure / λrc — LEAN's functional intermediate representations.
+
+λpure is a minimal, pure, strict, higher-order IR in A-normal form: every
+operand is a variable, and function bodies are trees built from ``let``,
+``case``, join-point declarations, jumps and returns.  λrc extends λpure with
+the reference-counting instructions ``inc`` and ``dec``; we represent both in
+the same node classes (a program is "in λrc" once RC insertion has run).
+
+The design follows the paper (§III) and LEAN4's compiler IR:
+
+Expressions (right-hand sides of ``let``):
+    * :class:`Ctor` — construct a tagged value,
+    * :class:`Proj` — project a constructor field,
+    * :class:`Call` — saturated call of a known top-level function,
+    * :class:`PAp` — partial application (closure creation),
+    * :class:`App` — apply a closure to further arguments,
+    * :class:`Lit` — machine integer or big integer literal.
+
+Function bodies:
+    * :class:`Let`, :class:`Case`, :class:`Ret`,
+    * :class:`JDecl` / :class:`Jmp` — join points,
+    * :class:`Inc` / :class:`Dec` — reference counting (λrc),
+    * :class:`Unreachable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Threshold above which integer literals are treated as big integers
+#: (mirrors LEAN's boxing of naturals that do not fit in a machine word).
+MACHINE_INT_LIMIT = 2**62
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of λpure expressions (always in A-normal form)."""
+
+    def arg_vars(self) -> List[str]:
+        """Variables consumed (ownership transferred) by this expression."""
+        return []
+
+    def borrowed_vars(self) -> List[str]:
+        """Variables inspected but not consumed by this expression."""
+        return []
+
+    def free_vars(self) -> Set[str]:
+        return set(self.arg_vars()) | set(self.borrowed_vars())
+
+
+@dataclass
+class Ctor(Expr):
+    """``ctor_tag(args)`` — build a data constructor value."""
+
+    tag: int
+    args: List[str] = field(default_factory=list)
+    type_name: str = ""
+    ctor_name: str = ""
+
+    def arg_vars(self) -> List[str]:
+        return list(self.args)
+
+    def __str__(self):
+        name = self.ctor_name or f"ctor_{self.tag}"
+        return f"{name}({', '.join(self.args)})"
+
+
+@dataclass
+class Proj(Expr):
+    """``proj_index(var)`` — extract a constructor field (borrows ``var``)."""
+
+    index: int
+    var: str
+
+    def borrowed_vars(self) -> List[str]:
+        return [self.var]
+
+    def __str__(self):
+        return f"proj_{self.index} {self.var}"
+
+
+@dataclass
+class Call(Expr):
+    """``call fn(args)`` — saturated call of a known function or runtime
+    builtin."""
+
+    fn: str
+    args: List[str] = field(default_factory=list)
+
+    def arg_vars(self) -> List[str]:
+        return list(self.args)
+
+    def __str__(self):
+        return f"{self.fn}({', '.join(self.args)})"
+
+
+@dataclass
+class PAp(Expr):
+    """``pap fn(args)`` — create a closure holding ``args`` for ``fn``."""
+
+    fn: str
+    args: List[str] = field(default_factory=list)
+
+    def arg_vars(self) -> List[str]:
+        return list(self.args)
+
+    def __str__(self):
+        return f"pap {self.fn}({', '.join(self.args)})"
+
+
+@dataclass
+class App(Expr):
+    """``app closure(args)`` — apply a closure to further arguments."""
+
+    closure: str
+    args: List[str] = field(default_factory=list)
+
+    def arg_vars(self) -> List[str]:
+        return [self.closure, *self.args]
+
+    def __str__(self):
+        return f"app {self.closure}({', '.join(self.args)})"
+
+
+@dataclass
+class Lit(Expr):
+    """Integer literal (machine word or big integer)."""
+
+    value: int
+
+    @property
+    def is_big(self) -> bool:
+        return abs(self.value) >= MACHINE_INT_LIMIT
+
+    def __str__(self):
+        return str(self.value)
+
+
+# ---------------------------------------------------------------------------
+# Function bodies
+# ---------------------------------------------------------------------------
+
+
+class FnBody:
+    """Base class of λpure function bodies."""
+
+
+@dataclass
+class Let(FnBody):
+    """``let var := expr; body``."""
+
+    var: str
+    expr: Expr
+    body: FnBody
+
+    def __str__(self):
+        return f"let {self.var} := {self.expr};\n{self.body}"
+
+
+@dataclass
+class CaseAlt:
+    """One alternative of a :class:`Case`: constructor tag → body."""
+
+    tag: int
+    ctor_name: str
+    body: FnBody
+
+
+@dataclass
+class Case(FnBody):
+    """``case var of alts [| default]`` — dispatch on a constructor tag.
+
+    The scrutinee is *borrowed* (not consumed); branches project fields out
+    of it as needed.
+    """
+
+    var: str
+    alts: List[CaseAlt] = field(default_factory=list)
+    default: Optional[FnBody] = None
+    type_name: str = ""
+
+    def __str__(self):
+        parts = [f"case {self.var} of"]
+        for alt in self.alts:
+            parts.append(f"| {alt.ctor_name or alt.tag} =>\n{alt.body}")
+        if self.default is not None:
+            parts.append(f"| _ =>\n{self.default}")
+        return "\n".join(parts)
+
+
+@dataclass
+class Ret(FnBody):
+    """``ret var`` — return from the enclosing function."""
+
+    var: str
+
+    def __str__(self):
+        return f"ret {self.var}"
+
+
+@dataclass
+class JDecl(FnBody):
+    """``jdecl label(params) := jbody; rest`` — declare a join point."""
+
+    label: str
+    params: List[str]
+    jbody: FnBody
+    rest: FnBody
+
+    def __str__(self):
+        return (
+            f"jdecl {self.label}({', '.join(self.params)}) :=\n"
+            f"{self.jbody};\n{self.rest}"
+        )
+
+
+@dataclass
+class Jmp(FnBody):
+    """``jmp label(args)`` — jump to an enclosing join point."""
+
+    label: str
+    args: List[str] = field(default_factory=list)
+
+    def __str__(self):
+        return f"jmp {self.label}({', '.join(self.args)})"
+
+
+@dataclass
+class Inc(FnBody):
+    """``inc var; body`` — λrc reference count increment."""
+
+    var: str
+    body: FnBody
+    count: int = 1
+
+    def __str__(self):
+        return f"inc {self.var};\n{self.body}"
+
+
+@dataclass
+class Dec(FnBody):
+    """``dec var; body`` — λrc reference count decrement."""
+
+    var: str
+    body: FnBody
+    count: int = 1
+
+    def __str__(self):
+        return f"dec {self.var};\n{self.body}"
+
+
+@dataclass
+class Unreachable(FnBody):
+    """Statically impossible program point (e.g. empty match)."""
+
+    def __str__(self):
+        return "unreachable"
+
+
+# ---------------------------------------------------------------------------
+# Functions and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Function:
+    """A top-level λpure/λrc function."""
+
+    name: str
+    params: List[str]
+    body: FnBody
+    #: number of leading parameters that are borrowed (not consumed);
+    #: our simplified RC scheme treats all parameters as owned, so this is 0.
+    borrowed: int = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def __str__(self):
+        return f"def {self.name}({', '.join(self.params)}) :=\n{self.body}"
+
+
+@dataclass
+class ConstructorInfo:
+    """Metadata about one constructor of an inductive type."""
+
+    type_name: str
+    ctor_name: str
+    tag: int
+    arity: int
+
+
+@dataclass
+class Program:
+    """A λpure/λrc program: functions plus inductive-type metadata."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    constructors: Dict[str, ConstructorInfo] = field(default_factory=dict)
+    main: str = "main"
+
+    def add_function(self, fn: Function) -> None:
+        self.functions[fn.name] = fn
+
+    def constructor(self, qualified_name: str) -> ConstructorInfo:
+        return self.constructors[qualified_name]
+
+    def arity_of(self, fn_name: str) -> Optional[int]:
+        fn = self.functions.get(fn_name)
+        return fn.arity if fn is not None else None
+
+    def __str__(self):
+        return "\n\n".join(str(f) for f in self.functions.values())
+
+
+# ---------------------------------------------------------------------------
+# Analyses shared by the simplifier and the RC inserter
+# ---------------------------------------------------------------------------
+
+
+def free_vars(body: FnBody, join_env: Optional[Dict[str, Tuple[List[str], Set[str]]]] = None) -> Set[str]:
+    """Free variables of a function body.
+
+    ``join_env`` maps join labels to ``(params, free_vars_of_join_body)``;
+    a ``jmp`` then contributes the join body's free variables as well, which
+    is what makes liveness (and therefore RC insertion) correct across join
+    points.
+    """
+    join_env = join_env if join_env is not None else {}
+
+    if isinstance(body, Let):
+        inner = free_vars(body.body, join_env) - {body.var}
+        return set(body.expr.free_vars()) | inner
+    if isinstance(body, Case):
+        result = {body.var}
+        for alt in body.alts:
+            result |= free_vars(alt.body, join_env)
+        if body.default is not None:
+            result |= free_vars(body.default, join_env)
+        return result
+    if isinstance(body, Ret):
+        return {body.var}
+    if isinstance(body, JDecl):
+        jfree = free_vars(body.jbody, join_env) - set(body.params)
+        extended = dict(join_env)
+        extended[body.label] = (body.params, jfree)
+        return jfree | free_vars(body.rest, extended)
+    if isinstance(body, Jmp):
+        result = set(body.args)
+        if body.label in join_env:
+            result |= join_env[body.label][1]
+        return result
+    if isinstance(body, (Inc, Dec)):
+        return {body.var} | free_vars(body.body, join_env)
+    if isinstance(body, Unreachable):
+        return set()
+    raise TypeError(f"unknown FnBody node: {body!r}")
+
+
+def body_size(body: FnBody) -> int:
+    """Number of nodes in a function body (used by inlining heuristics)."""
+    if isinstance(body, Let):
+        return 1 + body_size(body.body)
+    if isinstance(body, Case):
+        total = 1 + sum(body_size(a.body) for a in body.alts)
+        if body.default is not None:
+            total += body_size(body.default)
+        return total
+    if isinstance(body, JDecl):
+        return 1 + body_size(body.jbody) + body_size(body.rest)
+    if isinstance(body, (Inc, Dec)):
+        return 1 + body_size(body.body)
+    return 1
+
+
+def count_jumps(body: FnBody, label: str) -> int:
+    """Number of ``jmp`` nodes targeting ``label`` inside ``body``."""
+    if isinstance(body, Jmp):
+        return 1 if body.label == label else 0
+    if isinstance(body, Let):
+        return count_jumps(body.body, label)
+    if isinstance(body, Case):
+        total = sum(count_jumps(a.body, label) for a in body.alts)
+        if body.default is not None:
+            total += count_jumps(body.default, label)
+        return total
+    if isinstance(body, JDecl):
+        if body.label == label:
+            # Shadowed: jumps inside refer to the inner declaration.
+            return count_jumps(body.rest, label) if body.label != label else 0
+        return count_jumps(body.jbody, label) + count_jumps(body.rest, label)
+    if isinstance(body, (Inc, Dec)):
+        return count_jumps(body.body, label)
+    return 0

@@ -1,0 +1,10 @@
+"""λrc: λpure extended with reference counting (``inc``/``dec``).
+
+The IR node classes are shared with :mod:`repro.lambda_pure`; a program is
+"in λrc" once :func:`insert_rc` has run over it.
+"""
+
+from ..lambda_pure.ir import Dec, Inc
+from .refcount import RCInserter, insert_rc, insert_rc_function
+
+__all__ = ["Dec", "Inc", "RCInserter", "insert_rc", "insert_rc_function"]

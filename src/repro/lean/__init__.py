@@ -1,0 +1,42 @@
+"""The mini-LEAN frontend: lexer, parser, type checker and prelude.
+
+Typical usage::
+
+    from repro.lean import parse_program, check_program
+
+    program = parse_program(source_text)
+    env = check_program(program)
+"""
+
+from . import ast
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse_expression, parse_program
+from .prelude import (
+    BOOL_FALSE_TAG,
+    BOOL_TRUE_TAG,
+    BUILTIN_FUNCTIONS,
+    BUILTIN_RUNTIME_CALLS,
+    OPERATOR_RUNTIME_CALLS,
+    builtin_inductives,
+)
+from .typecheck import GlobalEnv, TypeChecker, TypeError_, check_program
+
+__all__ = [
+    "ast",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse_expression",
+    "parse_program",
+    "BOOL_FALSE_TAG",
+    "BOOL_TRUE_TAG",
+    "BUILTIN_FUNCTIONS",
+    "BUILTIN_RUNTIME_CALLS",
+    "OPERATOR_RUNTIME_CALLS",
+    "builtin_inductives",
+    "GlobalEnv",
+    "TypeChecker",
+    "TypeError_",
+    "check_program",
+]

@@ -1,0 +1,367 @@
+"""Surface AST and types of the mini-LEAN frontend.
+
+The frontend is a deliberately small, strict, monomorphic functional language
+that produces exactly the λpure constructs the paper's backend consumes:
+inductive data types, (nested) pattern matching, higher-order functions with
+partial application, and let/if expressions.  It substitutes for the LEAN4
+frontend + elaborator, whose output (λpure) is type erased anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class LeanType:
+    """Base class of surface types."""
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items(), key=lambda kv: kv[0], reverse=False)) if all(isinstance(v, (str, int)) for v in self.__dict__.values()) else id(self)))
+
+
+class NatType(LeanType):
+    """Arbitrary precision natural numbers."""
+
+    def __str__(self):
+        return "Nat"
+
+
+class IntType(LeanType):
+    """Arbitrary precision integers."""
+
+    def __str__(self):
+        return "Int"
+
+
+class BoolType(LeanType):
+    """Booleans (an inductive with constructors ``false`` / ``true``)."""
+
+    def __str__(self):
+        return "Bool"
+
+
+class UnitType(LeanType):
+    """The unit type."""
+
+    def __str__(self):
+        return "Unit"
+
+
+@dataclass(frozen=True)
+class ArrayType(LeanType):
+    """Dynamic arrays of boxed values (LEAN's ``Array``)."""
+
+    element: "LeanType"
+
+    def __str__(self):
+        return f"Array {self.element}"
+
+
+@dataclass(frozen=True)
+class DataType(LeanType):
+    """A user-declared inductive type, referenced by name."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class FunType(LeanType):
+    """Function type ``a -> b`` (curried, right associative)."""
+
+    param: "LeanType"
+    result: "LeanType"
+
+    def __str__(self):
+        param = f"({self.param})" if isinstance(self.param, FunType) else str(self.param)
+        return f"{param} -> {self.result}"
+
+
+def fun_type(params: List[LeanType], result: LeanType) -> LeanType:
+    """Build the curried function type ``p1 -> p2 -> ... -> result``."""
+    t = result
+    for p in reversed(params):
+        t = FunType(p, t)
+    return t
+
+
+def uncurry(t: LeanType) -> Tuple[List[LeanType], LeanType]:
+    """Split a curried function type into parameter list and final result."""
+    params: List[LeanType] = []
+    while isinstance(t, FunType):
+        params.append(t.param)
+        t = t.result
+    return params, t
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of surface expressions."""
+
+    #: Filled in by the type checker.
+    inferred_type: Optional[LeanType] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Var(Expr):
+    """A variable or (possibly qualified) global name."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class NatLit(Expr):
+    """A non-negative integer literal (``Nat`` unless context says ``Int``)."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass
+class IntLit(Expr):
+    """A (possibly negative) integer literal of type ``Int``."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass
+class BoolLit(Expr):
+    """``true`` / ``false``."""
+
+    value: bool
+
+    def __str__(self):
+        return "true" if self.value else "false"
+
+
+@dataclass
+class App(Expr):
+    """Application ``fn arg1 arg2 ...`` (possibly partial)."""
+
+    fn: Expr
+    args: List[Expr]
+
+    def __str__(self):
+        return "(" + " ".join(str(e) for e in [self.fn, *self.args]) + ")"
+
+
+@dataclass
+class BinOp(Expr):
+    """A binary operator application, desugared during lowering."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self):
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary negation."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self):
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class Let(Expr):
+    """``let name := value; body``."""
+
+    name: str
+    value: Expr
+    body: Expr
+    annotation: Optional[LeanType] = None
+
+    def __str__(self):
+        return f"let {self.name} := {self.value};\n{self.body}"
+
+
+@dataclass
+class If(Expr):
+    """``if cond then then_branch else else_branch``."""
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+    def __str__(self):
+        return f"if {self.cond} then {self.then_branch} else {self.else_branch}"
+
+
+@dataclass
+class Lambda(Expr):
+    """``fun (x : T) ... => body``."""
+
+    params: List[Tuple[str, LeanType]]
+    body: Expr
+
+    def __str__(self):
+        params = " ".join(f"({n} : {t})" for n, t in self.params)
+        return f"(fun {params} => {self.body})"
+
+
+# -- patterns ----------------------------------------------------------------
+
+
+@dataclass
+class Pattern:
+    """Base class of match patterns."""
+
+
+@dataclass
+class PVar(Pattern):
+    """Bind the scrutinee to a name."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class PWild(Pattern):
+    """``_`` — match anything, bind nothing."""
+
+    def __str__(self):
+        return "_"
+
+
+@dataclass
+class PCtor(Pattern):
+    """Constructor pattern ``Type.ctor p1 p2 ...`` (sub-patterns allowed)."""
+
+    ctor: str
+    subpatterns: List[Pattern] = field(default_factory=list)
+
+    def __str__(self):
+        if not self.subpatterns:
+            return self.ctor
+        return "(" + " ".join([self.ctor, *[str(p) for p in self.subpatterns]]) + ")"
+
+
+@dataclass
+class PLit(Pattern):
+    """Integer literal pattern."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass
+class PBool(Pattern):
+    """``true`` / ``false`` pattern."""
+
+    value: bool
+
+    def __str__(self):
+        return "true" if self.value else "false"
+
+
+@dataclass
+class MatchArm:
+    """One ``| p1, p2, ... => body`` arm."""
+
+    patterns: List[Pattern]
+    body: Expr
+
+
+@dataclass
+class Match(Expr):
+    """``match e1, e2, ... with arms``."""
+
+    scrutinees: List[Expr]
+    arms: List[MatchArm]
+
+    def __str__(self):
+        scrs = ", ".join(str(s) for s in self.scrutinees)
+        arms = "\n".join(
+            "| " + ", ".join(str(p) for p in a.patterns) + " => " + str(a.body)
+            for a in self.arms
+        )
+        return f"match {scrs} with\n{arms}"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConstructorDecl:
+    """One constructor of an inductive declaration."""
+
+    name: str
+    fields: List[Tuple[str, LeanType]] = field(default_factory=list)
+
+
+@dataclass
+class InductiveDecl:
+    """``inductive Name where | ctor (field : T) ...``."""
+
+    name: str
+    constructors: List[ConstructorDecl] = field(default_factory=list)
+
+
+@dataclass
+class DefDecl:
+    """``def name (p : T) ... : R := body`` (``partial def`` is accepted)."""
+
+    name: str
+    params: List[Tuple[str, LeanType]]
+    return_type: LeanType
+    body: Expr
+    is_partial: bool = False
+
+    def type(self) -> LeanType:
+        return fun_type([t for _, t in self.params], self.return_type)
+
+
+@dataclass
+class Program:
+    """A parsed mini-LEAN source file."""
+
+    inductives: List[InductiveDecl] = field(default_factory=list)
+    defs: List[DefDecl] = field(default_factory=list)
+
+    def inductive(self, name: str) -> Optional[InductiveDecl]:
+        for ind in self.inductives:
+            if ind.name == name:
+                return ind
+        return None
+
+    def definition(self, name: str) -> Optional[DefDecl]:
+        for d in self.defs:
+            if d.name == name:
+                return d
+        return None

@@ -1,0 +1,132 @@
+"""Built-in environment of the mini-LEAN frontend.
+
+Mirrors the slice of LEAN's prelude the benchmarks rely on: ``Bool`` as an
+inductive type, ``Nat``/``Int`` arithmetic (provided through operators and a
+few named helpers) and the ``Array`` primitives used by the ``qsort``
+benchmark.  The named built-ins lower to LEAN runtime calls
+(``lean_nat_add``, ``lean_array_push``, ...), exactly as λrc does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from . import ast
+
+#: Bool is an ordinary inductive: ``false`` has tag 0 and ``true`` has tag 1,
+#: matching LEAN's representation (and making ``if`` a two-way case).
+BOOL_FALSE_TAG = 0
+BOOL_TRUE_TAG = 1
+
+
+def builtin_inductives():
+    """Inductive declarations that are always in scope."""
+    return [
+        ast.InductiveDecl(
+            "Bool",
+            [
+                ast.ConstructorDecl("false", []),
+                ast.ConstructorDecl("true", []),
+            ],
+        ),
+    ]
+
+
+def _nat() -> ast.LeanType:
+    return ast.NatType()
+
+
+def _int() -> ast.LeanType:
+    return ast.IntType()
+
+
+def _bool() -> ast.LeanType:
+    return ast.BoolType()
+
+
+def _nat_array() -> ast.LeanType:
+    return ast.ArrayType(ast.NatType())
+
+
+#: Named built-in functions: surface name -> curried type.
+BUILTIN_FUNCTIONS: Dict[str, ast.LeanType] = {
+    # Nat helpers (operators cover the common cases).
+    "Nat.add": ast.fun_type([_nat(), _nat()], _nat()),
+    "Nat.sub": ast.fun_type([_nat(), _nat()], _nat()),
+    "Nat.mul": ast.fun_type([_nat(), _nat()], _nat()),
+    "Nat.div": ast.fun_type([_nat(), _nat()], _nat()),
+    "Nat.mod": ast.fun_type([_nat(), _nat()], _nat()),
+    "Nat.decEq": ast.fun_type([_nat(), _nat()], _bool()),
+    "Nat.decLt": ast.fun_type([_nat(), _nat()], _bool()),
+    "Nat.decLe": ast.fun_type([_nat(), _nat()], _bool()),
+    "Nat.toInt": ast.fun_type([_nat()], _int()),
+    # Int helpers.
+    "Int.add": ast.fun_type([_int(), _int()], _int()),
+    "Int.sub": ast.fun_type([_int(), _int()], _int()),
+    "Int.mul": ast.fun_type([_int(), _int()], _int()),
+    "Int.div": ast.fun_type([_int(), _int()], _int()),
+    "Int.mod": ast.fun_type([_int(), _int()], _int()),
+    "Int.neg": ast.fun_type([_int()], _int()),
+    "Int.toNat": ast.fun_type([_int()], _nat()),
+    # Array primitives (monomorphic over Nat, which is what qsort needs).
+    "Array.empty": _nat_array(),
+    "Array.push": ast.fun_type([_nat_array(), _nat()], _nat_array()),
+    "Array.get": ast.fun_type([_nat_array(), _nat()], _nat()),
+    "Array.set": ast.fun_type([_nat_array(), _nat(), _nat()], _nat_array()),
+    "Array.size": ast.fun_type([_nat_array()], _nat()),
+    "Array.swap": ast.fun_type([_nat_array(), _nat(), _nat()], _nat_array()),
+    "Array.mkArray": ast.fun_type([_nat(), _nat()], _nat_array()),
+}
+
+#: Lowering table: surface built-in name -> (runtime call, arity).
+BUILTIN_RUNTIME_CALLS: Dict[str, Tuple[str, int]] = {
+    "Nat.add": ("lean_nat_add", 2),
+    "Nat.sub": ("lean_nat_sub", 2),
+    "Nat.mul": ("lean_nat_mul", 2),
+    "Nat.div": ("lean_nat_div", 2),
+    "Nat.mod": ("lean_nat_mod", 2),
+    "Nat.decEq": ("lean_nat_dec_eq", 2),
+    "Nat.decLt": ("lean_nat_dec_lt", 2),
+    "Nat.decLe": ("lean_nat_dec_le", 2),
+    "Nat.toInt": ("lean_nat_to_int", 1),
+    "Int.add": ("lean_int_add", 2),
+    "Int.sub": ("lean_int_sub", 2),
+    "Int.mul": ("lean_int_mul", 2),
+    "Int.div": ("lean_int_div", 2),
+    "Int.mod": ("lean_int_mod", 2),
+    "Int.neg": ("lean_int_neg", 1),
+    "Int.toNat": ("lean_int_to_nat", 1),
+    "Array.empty": ("lean_array_mk", 0),
+    "Array.push": ("lean_array_push", 2),
+    "Array.get": ("lean_array_get", 2),
+    "Array.set": ("lean_array_set", 3),
+    "Array.size": ("lean_array_size", 1),
+    "Array.swap": ("lean_array_swap", 3),
+    "Array.mkArray": ("lean_array_mk_sized", 2),
+}
+
+#: Operator lowering per operand type ("Nat" or "Int").
+OPERATOR_RUNTIME_CALLS: Dict[Tuple[str, str], str] = {
+    ("+", "Nat"): "lean_nat_add",
+    ("-", "Nat"): "lean_nat_sub",
+    ("*", "Nat"): "lean_nat_mul",
+    ("/", "Nat"): "lean_nat_div",
+    ("%", "Nat"): "lean_nat_mod",
+    ("==", "Nat"): "lean_nat_dec_eq",
+    ("!=", "Nat"): "lean_nat_dec_ne",
+    ("<", "Nat"): "lean_nat_dec_lt",
+    ("<=", "Nat"): "lean_nat_dec_le",
+    (">", "Nat"): "lean_nat_dec_gt",
+    (">=", "Nat"): "lean_nat_dec_ge",
+    ("+", "Int"): "lean_int_add",
+    ("-", "Int"): "lean_int_sub",
+    ("*", "Int"): "lean_int_mul",
+    ("/", "Int"): "lean_int_div",
+    ("%", "Int"): "lean_int_mod",
+    ("==", "Int"): "lean_int_dec_eq",
+    ("!=", "Int"): "lean_int_dec_ne",
+    ("<", "Int"): "lean_int_dec_lt",
+    ("<=", "Int"): "lean_int_dec_le",
+    (">", "Int"): "lean_int_dec_gt",
+    (">=", "Int"): "lean_int_dec_ge",
+}

@@ -1,0 +1,96 @@
+"""Greedy pattern rewrite driver.
+
+Repeatedly applies a set of :class:`RewritePattern`\\ s to every operation
+nested under a root until no pattern applies any more (a fixpoint), mirroring
+MLIR's ``applyPatternsAndFoldGreedily``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..ir.core import Operation
+from .pattern import PatternRewriter, RewritePattern
+
+
+@dataclass
+class GreedyRewriteResult:
+    """Statistics of one driver invocation."""
+
+    converged: bool = True
+    iterations: int = 0
+    applications: int = 0
+    #: pattern class name -> number of successful applications
+    per_pattern: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, pattern: RewritePattern) -> None:
+        name = type(pattern).__name__
+        self.per_pattern[name] = self.per_pattern.get(name, 0) + 1
+        self.applications += 1
+
+
+def _is_attached(op: Operation, root: Operation) -> bool:
+    """True if ``op`` is still nested under ``root``."""
+    current = op
+    while current is not None:
+        if current is root:
+            return True
+        current = current.parent_op()
+    return False
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Sequence[RewritePattern],
+    *,
+    max_iterations: int = 64,
+) -> GreedyRewriteResult:
+    """Apply ``patterns`` to every op under ``root`` until fixpoint.
+
+    The worklist seeds with a post-order walk so that nested operations are
+    simplified before their parents; every application requeues the touched
+    operations.
+    """
+    result = GreedyRewriteResult()
+    sorted_patterns = sorted(patterns, key=lambda p: -p.benefit)
+    by_name: Dict[str, List[RewritePattern]] = {}
+    generic: List[RewritePattern] = []
+    for p in sorted_patterns:
+        if p.op_name is None:
+            generic.append(p)
+        else:
+            by_name.setdefault(p.op_name, []).append(p)
+
+    def candidates_for(op: Operation) -> Iterable[RewritePattern]:
+        yield from by_name.get(op.name, ())
+        yield from generic
+
+    for iteration in range(max_iterations):
+        result.iterations = iteration + 1
+        worklist: List[Operation] = list(root.walk())
+        changed_this_iteration = False
+        index = 0
+        while index < len(worklist):
+            op = worklist[index]
+            index += 1
+            if op is root or not _is_attached(op, root):
+                continue
+            for pattern in candidates_for(op):
+                rewriter = PatternRewriter(op)
+                try:
+                    applied = pattern.match_and_rewrite(op, rewriter)
+                except Exception:
+                    raise
+                if applied:
+                    result.record(pattern)
+                    changed_this_iteration = True
+                    for touched in rewriter.touched:
+                        if _is_attached(touched, root):
+                            worklist.append(touched)
+                    break
+        if not changed_this_iteration:
+            result.converged = True
+            return result
+    result.converged = False
+    return result

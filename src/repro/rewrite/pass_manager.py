@@ -1,0 +1,84 @@
+"""Passes and the pass manager.
+
+A :class:`Pass` transforms a module in place.  :class:`PassManager` runs a
+pipeline of passes, optionally verifying the IR after each one (the default,
+as in MLIR's ``-verify-each``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.core import Operation
+from ..ir.verifier import verify
+
+
+@dataclass
+class PassStatistics:
+    """Named counters a pass may update while running."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+
+class Pass:
+    """Base class of all passes."""
+
+    #: Human-readable pass name used in pipeline descriptions and reports.
+    name: str = "unnamed-pass"
+
+    def __init__(self):
+        self.statistics = PassStatistics()
+
+    def run(self, module: Operation) -> None:
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass operating on the whole module at once."""
+
+
+class FunctionPass(Pass):
+    """A pass applied independently to every ``func.func`` in the module."""
+
+    def run(self, module: Operation) -> None:
+        from ..dialects.func import FuncOp
+
+        for op in list(module.walk()):
+            if isinstance(op, FuncOp) and not op.is_declaration:
+                self.run_on_function(op)
+
+    def run_on_function(self, func) -> None:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a sequence of passes over a module."""
+
+    def __init__(self, passes: Optional[Sequence[Pass]] = None, *, verify_each: bool = True):
+        self.passes: List[Pass] = list(passes or [])
+        self.verify_each = verify_each
+        #: pass name -> statistics, populated by :meth:`run`.
+        self.statistics: Dict[str, PassStatistics] = {}
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Operation) -> Operation:
+        for pass_ in self.passes:
+            pass_.run(module)
+            self.statistics[pass_.name] = pass_.statistics
+            if self.verify_each:
+                verify(module)
+        return module
+
+    def describe(self) -> str:
+        """Textual pipeline description, e.g. ``cse,dce,region-gvn``."""
+        return ",".join(p.name for p in self.passes)

@@ -1,0 +1,109 @@
+"""Rewrite patterns and the rewriter handle passed to them.
+
+A :class:`RewritePattern` matches a single operation and, if it applies,
+mutates the IR through the :class:`PatternRewriter` so the driver can track
+what changed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.core import Block, Operation, Value
+
+
+class PatternRewriter(Builder):
+    """Mutation handle given to patterns.
+
+    All IR changes made during a pattern application should go through this
+    object so that the greedy driver can requeue affected operations.
+    """
+
+    def __init__(self, op: Operation):
+        super().__init__(InsertionPoint.before(op))
+        self.current_op = op
+        #: Operations created or modified during this application.
+        self.touched: List[Operation] = []
+        #: Operations erased during this application.
+        self.erased: List[Operation] = []
+        self.changed = False
+
+    # -- creation ---------------------------------------------------------------
+    def insert(self, op: Operation) -> Operation:
+        op = super().insert(op)
+        self.touched.append(op)
+        self.changed = True
+        return op
+
+    # -- replacement ------------------------------------------------------------
+    def replace_op(
+        self,
+        op: Operation,
+        replacements: Union[Operation, Value, Sequence[Value], None],
+    ) -> None:
+        """Replace ``op``'s results with ``replacements`` and erase it."""
+        if replacements is not None:
+            op.replace_all_uses_with(replacements)
+            if isinstance(replacements, Operation):
+                self.touched.append(replacements)
+        self.erase_op(op)
+
+    def erase_op(self, op: Operation) -> None:
+        """Erase ``op`` (its results must be unused by now)."""
+        for result in op.results:
+            if result.has_uses:
+                raise ValueError(
+                    f"cannot erase {op.name}: result still has uses"
+                )
+        # Requeue users of the operands (they may now be optimisable).
+        for operand in op.operands:
+            owner = operand.owner_op()
+            if owner is not None:
+                self.touched.append(owner)
+        op.erase()
+        self.erased.append(op)
+        self.changed = True
+
+    def replace_all_uses_with(self, old: Value, new: Value) -> None:
+        for use in list(old.uses):
+            self.touched.append(use.owner)
+        old.replace_all_uses_with(new)
+        self.changed = True
+
+    def notify_changed(self, op: Optional[Operation] = None) -> None:
+        """Record an in-place modification of ``op`` (or the matched op)."""
+        self.touched.append(op if op is not None else self.current_op)
+        self.changed = True
+
+    # -- structural helpers -------------------------------------------------------
+    def inline_block_before(self, block: Block, anchor: Operation) -> None:
+        """Move all operations of ``block`` (excluding nothing) before
+        ``anchor``.  The caller is responsible for remapping block arguments
+        beforehand."""
+        for op in list(block.operations):
+            op.detach()
+            anchor.parent.insert_before(op, anchor)
+            self.touched.append(op)
+        self.changed = True
+
+
+class RewritePattern:
+    """Base class of rewrite patterns.
+
+    Attributes:
+        op_name: if set, the driver only tries the pattern on operations with
+            this name (a cheap pre-filter).
+        benefit: patterns with larger benefit are tried first.
+    """
+
+    op_name: Optional[str] = None
+    benefit: int = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        """Attempt to match ``op`` and rewrite it.
+
+        Returns True when the pattern applied (the driver then re-processes
+        affected operations).
+        """
+        raise NotImplementedError

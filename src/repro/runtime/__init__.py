@@ -1,0 +1,63 @@
+"""The simulated LEAN runtime (``libleanrt`` substitute).
+
+* :mod:`repro.runtime.objects` — boxed/unboxed values and the reference-
+  counted heap with leak/double-free detection,
+* :mod:`repro.runtime.closures` — closure creation and extension
+  (``lean_apply_n`` semantics),
+* :mod:`repro.runtime.builtins` — the runtime call table
+  (``lean_nat_add``, ``lean_array_push``, ...).
+"""
+
+from .builtins import (
+    BUILTINS,
+    FALSE,
+    TRUE,
+    RuntimeContext,
+    call_builtin,
+    is_builtin,
+)
+from .closures import ApplyOutcome, extend_closure, make_closure
+from .objects import (
+    ArrayObject,
+    BigIntObject,
+    ClosureObject,
+    CtorObject,
+    Enum,
+    Heap,
+    HeapObject,
+    HeapStatistics,
+    RuntimeError_,
+    Scalar,
+    StringObject,
+    Value,
+    int_value,
+    python_value,
+    tag_of,
+)
+
+__all__ = [
+    "BUILTINS",
+    "FALSE",
+    "TRUE",
+    "RuntimeContext",
+    "call_builtin",
+    "is_builtin",
+    "ApplyOutcome",
+    "extend_closure",
+    "make_closure",
+    "ArrayObject",
+    "BigIntObject",
+    "ClosureObject",
+    "CtorObject",
+    "Enum",
+    "Heap",
+    "HeapObject",
+    "HeapStatistics",
+    "RuntimeError_",
+    "Scalar",
+    "StringObject",
+    "Value",
+    "int_value",
+    "python_value",
+    "tag_of",
+]

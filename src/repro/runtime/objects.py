@@ -1,0 +1,298 @@
+"""The simulated LEAN runtime object model (``libleanrt`` substitute).
+
+LEAN represents values uniformly as ``lean_object*``:
+
+* small integers and field-less constructors are *scalars* — tagged machine
+  words that are not heap allocated and not reference counted,
+* constructor applications, closures, big integers, arrays and strings are
+  heap objects with a reference count.
+
+We mirror that split: :class:`Scalar` / :class:`Enum` values are unboxed,
+:class:`HeapObject` subclasses live on the :class:`Heap`, which tracks
+allocation statistics and verifies reference-count balance (no leaks, no
+double frees) — the property our differential tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Integers with absolute value below this bound are unboxed scalars
+#: (LEAN guarantees small naturals are machine words).
+SCALAR_INT_LIMIT = 2**62
+
+
+class RuntimeError_(Exception):
+    """Raised by the runtime on invalid operations (double free, bad tag...)."""
+
+
+class Value:
+    """Base class of runtime values."""
+
+
+class Scalar(Value):
+    """An unboxed machine integer (no reference count)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __repr__(self):
+        return f"Scalar({self.value})"
+
+
+class Enum(Value):
+    """A field-less constructor, represented unboxed as its tag."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: int):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Enum({self.tag})"
+
+
+class HeapObject(Value):
+    """Base class of reference-counted heap objects."""
+
+    kind = "object"
+
+    def __init__(self):
+        self.rc = 1
+        self.freed = False
+
+    def children(self) -> List[Value]:
+        """Heap references owned by this object (released on free)."""
+        return []
+
+
+class CtorObject(HeapObject):
+    """A constructor application with at least one field."""
+
+    kind = "ctor"
+
+    def __init__(self, tag: int, fields: List[Value]):
+        super().__init__()
+        self.tag = tag
+        self.fields = list(fields)
+
+    def children(self) -> List[Value]:
+        return list(self.fields)
+
+    def __repr__(self):
+        return f"Ctor(tag={self.tag}, fields={len(self.fields)}, rc={self.rc})"
+
+
+class ClosureObject(HeapObject):
+    """A closure: a top-level function plus the arguments captured so far."""
+
+    kind = "closure"
+
+    def __init__(self, fn_name: str, arity: int, args: List[Value]):
+        super().__init__()
+        self.fn_name = fn_name
+        self.arity = arity
+        self.args = list(args)
+
+    def children(self) -> List[Value]:
+        return list(self.args)
+
+    @property
+    def missing(self) -> int:
+        return self.arity - len(self.args)
+
+    def __repr__(self):
+        return (
+            f"Closure({self.fn_name}, {len(self.args)}/{self.arity}, rc={self.rc})"
+        )
+
+
+class BigIntObject(HeapObject):
+    """An arbitrary-precision integer too large to be a scalar."""
+
+    kind = "bigint"
+
+    def __init__(self, value: int):
+        super().__init__()
+        self.value = value
+
+    def __repr__(self):
+        return f"BigInt({self.value}, rc={self.rc})"
+
+
+class ArrayObject(HeapObject):
+    """LEAN's dynamic array of boxed values."""
+
+    kind = "array"
+
+    def __init__(self, items: Optional[List[Value]] = None):
+        super().__init__()
+        self.items = list(items or [])
+
+    def children(self) -> List[Value]:
+        return list(self.items)
+
+    def __repr__(self):
+        return f"Array(len={len(self.items)}, rc={self.rc})"
+
+
+class StringObject(HeapObject):
+    """An immutable string."""
+
+    kind = "string"
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def __repr__(self):
+        return f"String({self.value!r}, rc={self.rc})"
+
+
+class HeapStatistics:
+    """Aggregate allocation / reference-counting statistics."""
+
+    def __init__(self):
+        self.allocations = 0
+        self.frees = 0
+        self.inc_ops = 0
+        self.dec_ops = 0
+        self.peak_live = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "inc_ops": self.inc_ops,
+            "dec_ops": self.dec_ops,
+            "peak_live": self.peak_live,
+        }
+
+
+class Heap:
+    """Tracks live heap objects and implements reference counting."""
+
+    def __init__(self):
+        self.live: Dict[int, HeapObject] = {}
+        self.stats = HeapStatistics()
+
+    # -- allocation --------------------------------------------------------------
+    def register(self, obj: HeapObject) -> HeapObject:
+        self.live[id(obj)] = obj
+        self.stats.allocations += 1
+        self.stats.peak_live = max(self.stats.peak_live, len(self.live))
+        return obj
+
+    def alloc_ctor(self, tag: int, fields: List[Value]) -> Value:
+        if not fields:
+            return Enum(tag)
+        return self.register(CtorObject(tag, fields))
+
+    def alloc_closure(self, fn_name: str, arity: int, args: List[Value]) -> ClosureObject:
+        closure = ClosureObject(fn_name, arity, args)
+        return self.register(closure)
+
+    def alloc_int(self, value: int) -> Value:
+        if abs(value) < SCALAR_INT_LIMIT:
+            return Scalar(value)
+        return self.register(BigIntObject(value))
+
+    def alloc_array(self, items: Optional[List[Value]] = None) -> ArrayObject:
+        return self.register(ArrayObject(items))
+
+    def alloc_string(self, value: str) -> StringObject:
+        return self.register(StringObject(value))
+
+    # -- reference counting -------------------------------------------------------
+    def inc(self, value: Value, count: int = 1) -> None:
+        self.stats.inc_ops += 1
+        if isinstance(value, HeapObject):
+            if value.freed:
+                raise RuntimeError_("inc of a freed object")
+            value.rc += count
+
+    def dec(self, value: Value, count: int = 1) -> None:
+        self.stats.dec_ops += 1
+        if not isinstance(value, HeapObject):
+            return
+        self._dec_object(value, count)
+
+    def _dec_object(self, obj: HeapObject, count: int = 1) -> None:
+        if obj.freed:
+            raise RuntimeError_("dec of a freed object (double free)")
+        if obj.rc < count:
+            raise RuntimeError_(
+                f"reference count underflow on {obj!r} (rc={obj.rc}, dec {count})"
+            )
+        obj.rc -= count
+        if obj.rc == 0:
+            self._free(obj)
+
+    def _free(self, obj: HeapObject) -> None:
+        obj.freed = True
+        self.live.pop(id(obj), None)
+        self.stats.frees += 1
+        for child in obj.children():
+            if isinstance(child, HeapObject):
+                self._dec_object(child)
+
+    # -- diagnostics ----------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        return len(self.live)
+
+    def check_balanced(self) -> None:
+        """Raise if any heap object is still live (a leak)."""
+        if self.live:
+            samples = list(self.live.values())[:5]
+            raise RuntimeError_(
+                f"heap leak: {len(self.live)} objects still live, e.g. {samples}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Conversions shared by runtime builtins and interpreters
+# ---------------------------------------------------------------------------
+
+
+def int_value(value: Value) -> int:
+    """Read the integer stored in a scalar or big-integer value."""
+    if isinstance(value, Scalar):
+        return value.value
+    if isinstance(value, BigIntObject):
+        return value.value
+    if isinstance(value, Enum):
+        return value.tag
+    raise RuntimeError_(f"expected an integer value, got {value!r}")
+
+
+def tag_of(value: Value) -> int:
+    """Read the constructor tag of a value (``lp.getlabel`` semantics)."""
+    if isinstance(value, Enum):
+        return value.tag
+    if isinstance(value, CtorObject):
+        return value.tag
+    if isinstance(value, Scalar):
+        return value.value
+    raise RuntimeError_(f"value {value!r} has no constructor tag")
+
+
+def python_value(value: Value) -> object:
+    """Convert a runtime value into a plain Python value (for tests/reports)."""
+    if isinstance(value, Scalar):
+        return value.value
+    if isinstance(value, BigIntObject):
+        return value.value
+    if isinstance(value, Enum):
+        return value.tag
+    if isinstance(value, CtorObject):
+        return (value.tag, tuple(python_value(f) for f in value.fields))
+    if isinstance(value, ArrayObject):
+        return [python_value(v) for v in value.items]
+    if isinstance(value, StringObject):
+        return value.value
+    if isinstance(value, ClosureObject):
+        return f"<closure {value.fn_name}>"
+    raise RuntimeError_(f"cannot convert {value!r}")

@@ -1,0 +1,43 @@
+"""IR transformation passes.
+
+Classical SSA passes
+    * :class:`~repro.transforms.dce.DeadCodeEliminationPass`
+    * :class:`~repro.transforms.cse.CSEPass`
+    * :class:`~repro.transforms.constant_fold.ConstantFoldPass`
+    * :class:`~repro.transforms.canonicalize.CanonicalizePass`
+    * :class:`~repro.transforms.inliner.InlinerPass`
+
+Region passes (the paper's contribution, §IV-B)
+    * :class:`~repro.transforms.dead_region.DeadRegionEliminationPass`
+    * :class:`~repro.transforms.region_gvn.RegionGVNPass`
+    * :class:`~repro.transforms.case_elimination.CaseEliminationPass`
+    * :class:`~repro.transforms.common_branch.CommonBranchEliminationPass`
+"""
+
+from .canonicalize import CanonicalizePass, canonicalization_patterns
+from .case_elimination import CaseEliminationPass, case_elimination_patterns
+from .common_branch import CommonBranchEliminationPass, common_branch_patterns
+from .constant_fold import ConstantFoldPass, constant_fold_patterns
+from .cse import CSEPass
+from .dce import DeadCodeEliminationPass, eliminate_dead_code
+from .dead_region import DeadRegionEliminationPass
+from .inliner import InlinerPass
+from .region_gvn import RegionGVNPass, region_value_number
+
+__all__ = [
+    "CanonicalizePass",
+    "canonicalization_patterns",
+    "CaseEliminationPass",
+    "case_elimination_patterns",
+    "CommonBranchEliminationPass",
+    "common_branch_patterns",
+    "ConstantFoldPass",
+    "constant_fold_patterns",
+    "CSEPass",
+    "DeadCodeEliminationPass",
+    "eliminate_dead_code",
+    "DeadRegionEliminationPass",
+    "InlinerPass",
+    "RegionGVNPass",
+    "region_value_number",
+]

@@ -1,0 +1,40 @@
+"""Canonicalisation: the union of all local simplification patterns.
+
+Mirrors MLIR's ``-canonicalize``: constant folding, case elimination and
+common-branch elimination are bundled into one greedy fixpoint, followed by
+dead code elimination.  The individual passes remain available for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rewrite.driver import apply_patterns_greedily
+from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.pattern import RewritePattern
+from .case_elimination import case_elimination_patterns
+from .common_branch import common_branch_patterns
+from .constant_fold import constant_fold_patterns
+from .dce import eliminate_dead_code
+
+
+def canonicalization_patterns() -> List[RewritePattern]:
+    """All registered canonicalisation patterns."""
+    return [
+        *constant_fold_patterns(),
+        *case_elimination_patterns(),
+        *common_branch_patterns(),
+    ]
+
+
+class CanonicalizePass(FunctionPass):
+    """Apply every canonicalisation pattern to fixpoint, then run DCE."""
+
+    name = "canonicalize"
+
+    def run_on_function(self, func) -> None:
+        result = apply_patterns_greedily(func, canonicalization_patterns())
+        erased = eliminate_dead_code(func)
+        self.statistics.bump("applications", result.applications)
+        self.statistics.bump("ops-erased", erased)

@@ -1,0 +1,119 @@
+"""Case elimination (Figure 1 B / §IV-B.1 example).
+
+A case statement whose scrutinee is a known constant can be replaced by the
+selected branch.  In the rgn encoding, a case statement is a ``select`` /
+``rgn.switch`` over region values followed by ``rgn.run``; the optimisation
+decomposes into ordinary SSA rewrites:
+
+* ``arith.select`` with a constant condition folds to one of its operands,
+* ``rgn.switch`` with a constant flag folds to the matching case region,
+* ``rgn.run`` of a single-use, directly-known ``rgn.val`` is replaced by the
+  region body itself (the final step D in the paper's illustration).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dialects import arith, rgn
+from ..ir.core import IRMapping, Operation
+from ..rewrite.driver import apply_patterns_greedily
+from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.pattern import PatternRewriter, RewritePattern
+
+
+def _constant_value(value) -> "int | None":
+    op = value.owner_op()
+    if isinstance(op, arith.ConstantOp):
+        return op.value
+    return None
+
+
+class FoldSelectOfConstant(RewritePattern):
+    """``select true, %a, %b`` → ``%a`` (and ``false`` → ``%b``)."""
+
+    op_name = arith.SelectOp.OP_NAME
+    benefit = 2
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        condition = _constant_value(op.operands[0])
+        if condition is None:
+            return False
+        chosen = op.operands[1] if condition else op.operands[2]
+        rewriter.replace_op(op, [chosen])
+        return True
+
+
+class FoldSwitchOfConstant(RewritePattern):
+    """``rgn.switch`` on a constant flag → the matching region operand."""
+
+    op_name = rgn.SwitchOp.OP_NAME
+    benefit = 2
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, rgn.SwitchOp):
+            return False
+        flag = _constant_value(op.flag)
+        if flag is None:
+            return False
+        rewriter.replace_op(op, [op.region_for_value(flag)])
+        return True
+
+
+class InlineRunOfKnownRegion(RewritePattern):
+    """``rgn.run`` of a directly known, single-use ``rgn.val`` inlines the
+    region body at the run site (substituting the run arguments for the
+    region's block arguments).
+
+    Multi-use regions are intentionally left alone: keeping them shared is
+    exactly the code-size benefit join points provide; the rgn → CFG lowering
+    turns the remaining runs into branches to a shared block.
+    """
+
+    op_name = rgn.RunOp.OP_NAME
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, rgn.RunOp):
+            return False
+        region_def = op.region_value.owner_op()
+        if not isinstance(region_def, rgn.ValOp):
+            return False
+        if op.region_value.num_uses != 1:
+            return False
+        body = region_def.body_block
+        args = op.args
+        if len(body.arguments) != len(args):
+            return False
+        mapping = IRMapping()
+        for block_arg, actual in zip(body.arguments, args):
+            mapping.map_value(block_arg, actual)
+        insert_block = op.parent
+        for body_op in body.operations:
+            cloned = body_op.clone(mapping)
+            insert_block.insert_before(cloned, op)
+            rewriter.touched.append(cloned)
+        rewriter.erase_op(op)
+        # The rgn.val is now unused; let DCE remove it (or remove it eagerly
+        # if it became completely unused).
+        if not region_def.results_used():
+            region_def.erase()
+        rewriter.changed = True
+        return True
+
+
+def case_elimination_patterns() -> List[RewritePattern]:
+    return [
+        FoldSelectOfConstant(),
+        FoldSwitchOfConstant(),
+        InlineRunOfKnownRegion(),
+    ]
+
+
+class CaseEliminationPass(FunctionPass):
+    """Greedily apply the case-elimination patterns."""
+
+    name = "case-elimination"
+
+    def run_on_function(self, func) -> None:
+        result = apply_patterns_greedily(func, case_elimination_patterns())
+        self.statistics.bump("applications", result.applications)

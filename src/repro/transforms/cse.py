@@ -1,0 +1,77 @@
+"""Common subexpression elimination for region-free pure operations.
+
+The classic SSA CSE: two pure operations with identical name, attributes and
+operands compute the same value, so later occurrences can reuse the earlier
+result (provided the earlier one dominates the later one).  Operations with
+nested regions are left to :mod:`repro.transforms.region_gvn`, which extends
+value numbering to regions (the paper's §IV-B.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.core import Block, Operation, Value
+from ..ir.dominance import DominanceAnalysis
+from ..ir.traits import Allocates, Pure
+from ..rewrite.pass_manager import FunctionPass
+
+
+def _op_key(op: Operation, value_ids: Dict[Value, int]) -> Tuple:
+    """Structural key of a region-free pure operation."""
+    return (
+        op.name,
+        tuple(value_ids.setdefault(v, len(value_ids)) for v in op.operands),
+        tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+        tuple(str(r.type) for r in op.results),
+    )
+
+
+class CSEPass(FunctionPass):
+    """Eliminate redundant pure, region-free operations."""
+
+    name = "cse"
+
+    def run_on_function(self, func) -> None:
+        value_ids: Dict[Value, int] = {}
+        erased = 0
+        # Process every block; a simple scoped approach: expressions computed
+        # in a block are only reused within that block or blocks it
+        # dominates.  We conservatively restrict reuse to the same block and
+        # to values defined in enclosing regions (which always dominate).
+        dominance = DominanceAnalysis()
+        for block in self._blocks_in_order(func):
+            erased += self._run_on_block(block, value_ids, dominance)
+        self.statistics.bump("ops-erased", erased)
+
+    def _blocks_in_order(self, func) -> List[Block]:
+        blocks: List[Block] = []
+        for op in func.walk():
+            for region in op.regions:
+                blocks.extend(region.blocks)
+        return blocks
+
+    def _run_on_block(
+        self,
+        block: Block,
+        value_ids: Dict[Value, int],
+        dominance: DominanceAnalysis,
+    ) -> int:
+        seen: Dict[Tuple, Operation] = {}
+        erased = 0
+        for op in list(block.operations):
+            if not op.has_trait(Pure) or op.regions or not op.results:
+                continue
+            if op.has_trait(Allocates):
+                # Merging two allocations would alias two owned references
+                # onto one heap object and unbalance the reference counts.
+                continue
+            key = _op_key(op, value_ids)
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = op
+                continue
+            op.replace_all_uses_with(existing)
+            op.erase()
+            erased += 1
+        return erased

@@ -1,0 +1,66 @@
+"""Dead code elimination.
+
+As the paper observes (§IV-B.1), dead code elimination requires *no changes*
+to work with region values: a ``rgn.val`` whose result is never referenced is
+never executed, hence dead.  The pass removes any operation that
+
+* carries the :class:`~repro.ir.traits.Pure` trait (no side effects), and
+* has no remaining uses of any of its results,
+
+iterating until a fixpoint because removing one op may make its producers
+dead as well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..ir.core import Operation
+from ..ir.traits import Pure
+from ..rewrite.pass_manager import FunctionPass
+
+
+def eliminate_dead_code(
+    root: Operation,
+    *,
+    is_removable: Optional[Callable[[Operation], bool]] = None,
+) -> int:
+    """Remove dead pure operations nested under ``root``.
+
+    ``is_removable`` optionally restricts which dead ops may be removed
+    (used by :class:`DeadRegionEliminationPass` to restrict to ``rgn.val``).
+    Returns the number of erased operations.
+    """
+    erased_total = 0
+    while True:
+        erased_this_round = 0
+        # Walk in reverse so that users are visited (and erased) before
+        # producers within one sweep.
+        for op in reversed(list(root.walk())):
+            if op is root:
+                continue
+            if op.parent is None:
+                continue  # already erased as part of a parent region
+            if not op.has_trait(Pure):
+                continue
+            if not op.results:
+                continue
+            if op.results_used():
+                continue
+            if is_removable is not None and not is_removable(op):
+                continue
+            op.erase()
+            erased_this_round += 1
+        erased_total += erased_this_round
+        if erased_this_round == 0:
+            return erased_total
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    """Remove all dead pure operations in every function."""
+
+    name = "dce"
+
+    def run_on_function(self, func) -> None:
+        erased = eliminate_dead_code(func)
+        self.statistics.bump("ops-erased", erased)

@@ -1,0 +1,30 @@
+"""Dead region elimination (Figure 1 A / §IV-B.1).
+
+Dead *expression* elimination in a functional compiler removes let bindings
+whose bound expression is never referenced.  In the rgn encoding a
+let-bound sub-expression is a ``rgn.val``; if its SSA result has no uses it
+is never run, hence dead.  This is exactly SSA dead code elimination
+restricted to region values — which is why the pass is a thin wrapper around
+:func:`repro.transforms.dce.eliminate_dead_code`.
+
+The pass exists separately from the generic DCE so that the ablation
+benchmarks can toggle it on its own.
+"""
+
+from __future__ import annotations
+
+from ..dialects.rgn import ValOp
+from ..rewrite.pass_manager import FunctionPass
+from .dce import eliminate_dead_code
+
+
+class DeadRegionEliminationPass(FunctionPass):
+    """Remove ``rgn.val`` definitions whose result is never referenced."""
+
+    name = "dead-region-elimination"
+
+    def run_on_function(self, func) -> None:
+        erased = eliminate_dead_code(
+            func, is_removable=lambda op: isinstance(op, ValOp)
+        )
+        self.statistics.bump("regions-erased", erased)

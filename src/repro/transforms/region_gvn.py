@@ -1,0 +1,148 @@
+"""Global Region Numbering (the paper's §IV-B.2).
+
+Classical global value numbering assigns a number to every SSA value such
+that two values with equal numbers compute the same result.  The paper
+extends this to *regions*: for straight-line (single-block) regions the value
+number is a rolling hash of the value numbers of all instructions within the
+region; two regions have the same number iff their instruction sequences have
+identical value numbers in identical order.
+
+Merging two ``rgn.val`` operations with equal numbers is the region analogue
+of CSE: redundant computations across branches of control flow are
+identified, after which common-branch elimination can fold the surrounding
+``select`` / ``rgn.switch`` away (Figure in §IV-B.2, steps B → C → D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..dialects.rgn import ValOp
+from ..ir.core import Block, Operation, Region, Value
+from ..ir.traits import Pure
+from ..rewrite.pass_manager import FunctionPass
+
+
+class ValueNumbering:
+    """Assigns structural value numbers to SSA values.
+
+    Values produced by pure, region-free operations receive numbers derived
+    from the operation name, attributes and operand numbers; all other values
+    (block arguments, results of impure operations, function arguments)
+    receive unique opaque numbers.
+    """
+
+    def __init__(self):
+        self._numbers: Dict[Value, Hashable] = {}
+        self._expression_table: Dict[Tuple, Hashable] = {}
+        self._next_opaque = 0
+
+    def _fresh(self) -> Hashable:
+        self._next_opaque += 1
+        return ("opaque", self._next_opaque)
+
+    def number_of(self, value: Value) -> Hashable:
+        if value in self._numbers:
+            return self._numbers[value]
+        op = value.owner_op()
+        if op is None or not op.has_trait(Pure) or op.regions:
+            number: Hashable = self._fresh()
+        else:
+            key = (
+                op.name,
+                tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+                tuple(self.number_of(o) for o in op.operands),
+                op.results.index(value),
+            )
+            number = self._expression_table.setdefault(key, ("expr",) + key)
+        self._numbers[value] = number
+        return number
+
+
+def region_value_number(
+    region: Region, numbering: Optional[ValueNumbering] = None
+) -> Optional[Tuple]:
+    """Value number (fingerprint) of a straight-line region.
+
+    Returns None for regions that are not single-block — the paper restricts
+    region numbering to straight-line regions, which is not limiting because
+    high-level control flow is expressed via nested ``rgn`` values rather
+    than multi-block regions.
+    """
+    numbering = numbering if numbering is not None else ValueNumbering()
+    if len(region.blocks) != 1:
+        return None
+    block = region.blocks[0]
+    local: Dict[Value, Hashable] = {}
+    for i, arg in enumerate(block.arguments):
+        local[arg] = ("arg", i, str(arg.type))
+
+    def operand_key(value: Value) -> Hashable:
+        if value in local:
+            return local[value]
+        return ("outer", numbering.number_of(value))
+
+    fingerprint = []
+    for op_index, op in enumerate(block.operations):
+        nested = []
+        for nested_region in op.regions:
+            inner = region_value_number(nested_region, numbering)
+            if inner is None:
+                return None
+            nested.append(inner)
+        entry = (
+            op.name,
+            tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+            tuple(operand_key(o) for o in op.operands),
+            tuple(nested),
+            tuple(str(r.type) for r in op.results),
+        )
+        fingerprint.append(entry)
+        for r in op.results:
+            local[r] = ("local", op_index, r.index)
+    arg_signature = tuple(str(a.type) for a in block.arguments)
+    return (arg_signature, tuple(fingerprint))
+
+
+class RegionGVNPass(FunctionPass):
+    """Merge ``rgn.val`` operations whose regions have equal value numbers.
+
+    Only values defined in the same block are merged (the earlier definition
+    trivially dominates the later one), which covers the pattern produced by
+    the lp → rgn lowering where all arms of one case statement become
+    adjacent ``rgn.val`` definitions.
+    """
+
+    name = "region-gvn"
+
+    def run_on_function(self, func) -> None:
+        merged = 0
+        numbering = ValueNumbering()
+        for block in self._all_blocks(func):
+            merged += self._run_on_block(block, numbering)
+        self.statistics.bump("regions-merged", merged)
+
+    def _all_blocks(self, func):
+        blocks = []
+        for op in func.walk():
+            for region in op.regions:
+                blocks.extend(region.blocks)
+        return blocks
+
+    def _run_on_block(self, block: Block, numbering: ValueNumbering) -> int:
+        seen: Dict[Tuple, Operation] = {}
+        merged = 0
+        for op in list(block.operations):
+            if not isinstance(op, ValOp):
+                continue
+            fingerprint = region_value_number(op.body_region, numbering)
+            if fingerprint is None:
+                continue
+            existing = seen.get(fingerprint)
+            if existing is None:
+                seen[fingerprint] = op
+                continue
+            op.replace_all_uses_with(existing)
+            op.erase()
+            merged += 1
+        return merged

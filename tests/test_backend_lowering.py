@@ -1,0 +1,216 @@
+"""Tests for the backend lowerings: λrc → lp, lp → rgn, rgn → CFG, C emission."""
+
+import pytest
+
+from repro.backend import (
+    BaselineCompiler,
+    MlirCompiler,
+    PipelineOptions,
+    emit_c_source,
+    generate_lp_module,
+    lower_lp_to_rgn,
+    lower_rgn_to_cf,
+)
+from repro.backend.pipeline import Frontend
+from repro.dialects import cf, lp, rgn
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir import verify
+from repro.lambda_rc import insert_rc
+
+EVAL_SRC = """
+def eval (x : Nat) (y : Nat) (z : Nat) : Nat :=
+  match x, y, z with
+  | 0, 2, _ => 40
+  | 0, _, 2 => 50
+  | _, _, _ => 60
+def main : Nat := eval 0 1 2
+"""
+
+LIST_SRC = """
+inductive List where
+| nil
+| cons (h : Nat) (t : List)
+def length (xs : List) : Nat :=
+  match xs with
+  | List.nil => 0
+  | List.cons _ t => 1 + length t
+def main : Nat := length (List.cons 1 (List.cons 2 List.nil))
+"""
+
+CLOSURE_SRC = """
+def k (x : Nat) (y : Nat) : Nat := x
+def ap42 (f : Nat -> Nat -> Nat) : Nat -> Nat := f 42
+def main : Nat := (ap42 k) 7
+"""
+
+
+def lp_module_for(src):
+    rc = insert_rc(Frontend.to_pure(src))
+    return generate_lp_module(rc)
+
+
+def op_names(root):
+    return [op.name for op in root.walk()]
+
+
+class TestLpCodegen:
+    def test_module_has_all_functions(self):
+        module = lp_module_for(LIST_SRC)
+        names = {f.sym_name for f in module.functions()}
+        assert {"length", "main"} <= names
+        verify(module)
+
+    def test_case_becomes_getlabel_and_switch(self):
+        module = lp_module_for(LIST_SRC)
+        length = module.lookup_symbol("length")
+        names = op_names(length)
+        assert "lp.getlabel" in names and "lp.switch" in names
+
+    def test_join_points_emitted(self):
+        module = lp_module_for(EVAL_SRC)
+        eval_fn = module.lookup_symbol("eval")
+        names = op_names(eval_fn)
+        assert "lp.joinpoint" in names and "lp.jump" in names
+
+    def test_closures_emitted(self):
+        module = lp_module_for(CLOSURE_SRC)
+        names = op_names(module)
+        assert "lp.pap" in names and "lp.papextend" in names
+
+    def test_refcount_ops_emitted(self):
+        module = lp_module_for(LIST_SRC)
+        names = op_names(module)
+        assert "lp.inc" in names or "lp.dec" in names
+
+    def test_function_signature_uses_box_type(self):
+        module = lp_module_for(LIST_SRC)
+        length = module.lookup_symbol("length")
+        assert str(length.function_type) == "(!lp.t) -> !lp.t"
+
+    def test_jump_verifies_against_joinpoint(self):
+        module = lp_module_for(EVAL_SRC)
+        verify(module)  # lp.jump's verifier resolves the enclosing joinpoint
+
+
+class TestLpToRgn:
+    def test_switches_become_region_values(self):
+        module = lp_module_for(LIST_SRC)
+        lower_lp_to_rgn(module)
+        verify(module)
+        names = op_names(module)
+        assert "rgn.val" in names and "rgn.run" in names
+        assert "lp.switch" not in names and "lp.joinpoint" not in names
+
+    def test_two_way_switch_uses_select(self):
+        module = lp_module_for(LIST_SRC)
+        lower_lp_to_rgn(module)
+        names = op_names(module.lookup_symbol("length"))
+        assert "arith.select" in names and "arith.cmpi" in names
+
+    def test_joinpoints_become_named_regions(self):
+        module = lp_module_for(EVAL_SRC)
+        lower_lp_to_rgn(module)
+        verify(module)
+        names = op_names(module.lookup_symbol("eval"))
+        assert "lp.jump" not in names
+        assert names.count("rgn.run") >= 2
+
+    def test_region_value_uses_are_legal(self):
+        from repro.dialects.rgn import verify_region_value_uses
+
+        module = lp_module_for(EVAL_SRC)
+        lower_lp_to_rgn(module)
+        assert verify_region_value_uses(module) == []
+
+    def test_data_ops_untouched(self):
+        module = lp_module_for(LIST_SRC)
+        before = [n for n in op_names(module) if n in ("lp.construct", "lp.project")]
+        lower_lp_to_rgn(module)
+        after = [n for n in op_names(module) if n in ("lp.construct", "lp.project")]
+        assert sorted(before) == sorted(after)
+
+
+class TestRgnToCf:
+    def lowered(self, src):
+        module = lp_module_for(src)
+        lower_lp_to_rgn(module)
+        lower_rgn_to_cf(module)
+        verify(module)
+        return module
+
+    def test_no_structured_ops_remain(self):
+        module = self.lowered(EVAL_SRC)
+        names = op_names(module)
+        assert "rgn.val" not in names and "rgn.run" not in names
+        assert "rgn.switch" not in names
+        assert "lp.return" not in names
+
+    def test_cfg_terminators_present(self):
+        module = self.lowered(LIST_SRC)
+        names = op_names(module.lookup_symbol("length"))
+        assert "cf.cond_br" in names or "cf.switch" in names
+        assert "func.return" in names
+
+    def test_functions_have_multiple_blocks(self):
+        module = self.lowered(LIST_SRC)
+        length = module.lookup_symbol("length")
+        assert len(length.body.blocks) >= 3
+
+    def test_shared_join_block_has_multiple_predecessors(self):
+        module = self.lowered(EVAL_SRC)
+        eval_fn = module.lookup_symbol("eval")
+        shared = [
+            block
+            for block in eval_fn.body.blocks
+            if len(block.predecessors()) >= 2
+        ]
+        assert shared, "the join point should become a block with >= 2 predecessors"
+
+
+class TestCBackend:
+    def test_emits_c_for_every_function(self):
+        rc = insert_rc(Frontend.to_pure(LIST_SRC))
+        source = emit_c_source(rc)
+        assert "lean_object* l_length(lean_object*" in source
+        assert "#include <lean/lean.h>" in source
+
+    def test_switch_and_goto_shapes(self):
+        rc = insert_rc(Frontend.to_pure(EVAL_SRC))
+        source = emit_c_source(rc)
+        assert "switch (lean_obj_tag(" in source
+        assert "goto " in source
+
+    def test_refcounting_calls_present(self):
+        rc = insert_rc(Frontend.to_pure(LIST_SRC))
+        source = emit_c_source(rc)
+        assert "lean_dec_n(" in source or "lean_inc_n(" in source
+
+    def test_baseline_compiler_produces_artifacts(self):
+        artifacts = BaselineCompiler().compile(LIST_SRC)
+        assert artifacts.c_source and artifacts.rc_program.functions
+
+
+class TestPipelines:
+    def test_mlir_compiler_produces_cfg_module(self):
+        artifacts = MlirCompiler().compile(LIST_SRC)
+        assert artifacts.cfg_module is not None
+        verify(artifacts.cfg_module)
+        assert artifacts.pass_statistics  # rgn optimisations ran
+
+    def test_variant_matrix(self):
+        simplifier = PipelineOptions.variant("simplifier")
+        assert simplifier.run_lambda_simplifier and not simplifier.run_rgn_optimizations
+        rgn_variant = PipelineOptions.variant("rgn")
+        assert not rgn_variant.run_lambda_simplifier and rgn_variant.run_rgn_optimizations
+        none_variant = PipelineOptions.variant("none")
+        assert not none_variant.run_lambda_simplifier
+        assert not none_variant.run_rgn_optimizations
+        with pytest.raises(ValueError):
+            PipelineOptions.variant("bogus")
+
+    def test_no_rgn_opts_variant_still_correct(self):
+        from repro.backend import run_mlir, run_reference
+
+        expected = run_reference(EVAL_SRC)
+        result = run_mlir(EVAL_SRC, PipelineOptions.variant("none"))
+        assert result.value == expected

@@ -1,0 +1,91 @@
+"""Differential correctness suite (the analogue of §V-A's 648-test run).
+
+Every regression program and every benchmark is executed through:
+
+* the λpure reference interpreter (golden semantics),
+* the baseline ("leanc") pipeline,
+* the lp+rgn pipeline in all three Figure-10 variants,
+
+and all answers must agree.  Heap balance (no leaks, no double frees) is
+asserted implicitly: the interpreters raise if the reference counts do not
+balance at exit.
+"""
+
+import pytest
+
+from repro.backend import (
+    FIGURE10_VARIANTS,
+    PipelineOptions,
+    run_baseline,
+    run_mlir,
+    run_reference,
+)
+from repro.eval import benchmark_sources, regression_programs
+
+REGRESSION = regression_programs()
+
+
+@pytest.mark.parametrize(
+    "program", REGRESSION, ids=[p.name for p in REGRESSION]
+)
+def test_regression_program_baseline_matches_reference(program):
+    expected = run_reference(program.source)
+    result = run_baseline(program.source)
+    assert result.value == expected
+    assert result.heap_stats["allocations"] == result.heap_stats["frees"]
+
+
+@pytest.mark.parametrize(
+    "program", REGRESSION, ids=[p.name for p in REGRESSION]
+)
+def test_regression_program_mlir_matches_reference(program):
+    expected = run_reference(program.source)
+    result = run_mlir(program.source)
+    assert result.value == expected
+    assert result.heap_stats["allocations"] == result.heap_stats["frees"]
+
+
+@pytest.mark.parametrize("variant", FIGURE10_VARIANTS)
+@pytest.mark.parametrize(
+    "program",
+    [p for p in REGRESSION if p.category in ("pattern-matching", "closures", "paper-figures")],
+    ids=[
+        p.name
+        for p in REGRESSION
+        if p.category in ("pattern-matching", "closures", "paper-figures")
+    ],
+)
+def test_regression_program_variants_match_reference(program, variant):
+    expected = run_reference(program.source)
+    result = run_mlir(program.source, PipelineOptions.variant(variant))
+    assert result.value == expected
+
+
+BENCHMARKS = benchmark_sources()
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS), ids=sorted(BENCHMARKS))
+def test_benchmark_all_backends_agree(name):
+    source = BENCHMARKS[name]
+    expected = run_reference(source)
+    baseline = run_baseline(source)
+    mlir = run_mlir(source)
+    assert baseline.value == expected
+    assert mlir.value == expected
+    assert baseline.heap_stats["allocations"] == baseline.heap_stats["frees"]
+    assert mlir.heap_stats["allocations"] == mlir.heap_stats["frees"]
+
+
+def test_suite_summary_counts():
+    """The regression suite is large enough to be meaningful."""
+    assert len(REGRESSION) >= 50
+    categories = {p.category for p in REGRESSION}
+    assert {
+        "arithmetic",
+        "booleans",
+        "pattern-matching",
+        "closures",
+        "recursion",
+        "arrays",
+        "paper-figures",
+    } <= categories

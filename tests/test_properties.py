@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+* randomly generated arithmetic/conditional programs evaluate identically in
+  the reference interpreter, the baseline pipeline and the lp+rgn pipeline,
+* heap reference counting stays balanced for randomly generated list
+  programs,
+* region value numbering is a congruence (equal fingerprints ⇔ structurally
+  identical straight-line regions),
+* the printer/parser round trip is the identity on generated lp modules.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backend import run_baseline, run_mlir, run_reference
+from repro.backend.pipeline import Frontend
+from repro.backend.lp_codegen import generate_lp_module
+from repro.dialects import lp, rgn
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp
+from repro.ir import Builder, FunctionType, InsertionPoint, box, parse_module, print_module, verify
+from repro.lambda_rc import insert_rc
+from repro.transforms import region_value_number
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Random expression programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def nat_expressions(draw, depth=3):
+    """Generate a mini-LEAN Nat expression over variables a and b."""
+    if depth == 0:
+        return draw(
+            st.sampled_from(["a", "b", "0", "1", "2", "7", "41"])
+        )
+    kind = draw(st.sampled_from(["binop", "if", "leaf", "let"]))
+    if kind == "leaf":
+        return draw(nat_expressions(depth=0))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "*", "-", "%"]))
+        lhs = draw(nat_expressions(depth=depth - 1))
+        rhs = draw(nat_expressions(depth=depth - 1))
+        if op == "%":
+            rhs = f"({rhs} + 1)"
+        return f"({lhs} {op} {rhs})"
+    if kind == "if":
+        cmp = draw(st.sampled_from(["<", "<=", "==", "!="]))
+        lhs = draw(nat_expressions(depth=depth - 1))
+        rhs = draw(nat_expressions(depth=depth - 1))
+        then = draw(nat_expressions(depth=depth - 1))
+        other = draw(nat_expressions(depth=depth - 1))
+        return f"(if {lhs} {cmp} {rhs} then {then} else {other})"
+    value = draw(nat_expressions(depth=depth - 1))
+    body = draw(nat_expressions(depth=depth - 1))
+    return f"(let c := {value}; {body} + c)"
+
+
+@given(expr=nat_expressions(), a=st.integers(0, 50), b=st.integers(0, 50))
+@SLOW
+def test_random_expression_backends_agree(expr, a, b):
+    source = f"""
+def compute (a : Nat) (b : Nat) : Nat := {expr}
+def main : Nat := compute {a} {b}
+"""
+    expected = run_reference(source)
+    assert run_baseline(source).value == expected
+    assert run_mlir(source).value == expected
+
+
+@given(
+    values=st.lists(st.integers(0, 200), min_size=0, max_size=12),
+    pivot=st.integers(0, 200),
+)
+@SLOW
+def test_random_list_programs_balance_heap(values, pivot):
+    conses = "List.nil"
+    for v in reversed(values):
+        conses = f"(List.cons {v} {conses})"
+    source = f"""
+inductive List where
+| nil
+| cons (h : Nat) (t : List)
+def countBelow (p : Nat) (xs : List) : Nat :=
+  match xs with
+  | List.nil => 0
+  | List.cons h t => (if h < p then 1 else 0) + countBelow p t
+def main : Nat := countBelow {pivot} {conses}
+"""
+    expected = sum(1 for v in values if v < pivot)
+    baseline = run_baseline(source)
+    mlir = run_mlir(source)
+    assert baseline.value == expected == mlir.value
+    assert baseline.heap_stats["allocations"] == baseline.heap_stats["frees"]
+    assert mlir.heap_stats["allocations"] == mlir.heap_stats["frees"]
+
+
+# ---------------------------------------------------------------------------
+# Region value numbering
+# ---------------------------------------------------------------------------
+
+
+def _make_region(values):
+    """Build ``rgn.val { lp.int v0; ...; lp.return last }``."""
+    val = rgn.ValOp()
+    builder = Builder(InsertionPoint.at_end(val.body_block))
+    last = None
+    for v in values:
+        last = builder.create(lp.IntOp, v)
+    if last is None:
+        last = builder.create(lp.IntOp, 0)
+    builder.create(lp.ReturnOp, last.result())
+    return val
+
+
+@given(values=st.lists(st.integers(0, 5), min_size=1, max_size=5))
+@SLOW
+def test_region_fingerprint_reflexive(values):
+    a = _make_region(values)
+    b = _make_region(values)
+    assert region_value_number(a.body_region) == region_value_number(b.body_region)
+
+
+@given(
+    left=st.lists(st.integers(0, 5), min_size=1, max_size=5),
+    right=st.lists(st.integers(0, 5), min_size=1, max_size=5),
+)
+@SLOW
+def test_region_fingerprint_distinguishes_different_bodies(left, right):
+    a = _make_region(left)
+    b = _make_region(right)
+    same = region_value_number(a.body_region) == region_value_number(b.body_region)
+    assert same == (left == right)
+
+
+# ---------------------------------------------------------------------------
+# Printer / parser round trip
+# ---------------------------------------------------------------------------
+
+_ROUNDTRIP_SOURCES = [
+    "def main : Nat := 1 + 2",
+    """
+inductive List where
+| nil
+| cons (h : Nat) (t : List)
+def length (xs : List) : Nat :=
+  match xs with
+  | List.nil => 0
+  | List.cons _ t => 1 + length t
+def main : Nat := length List.nil
+""",
+    """
+def eval (x : Nat) (y : Nat) : Nat :=
+  match x, y with
+  | 0, 2 => 40
+  | 0, _ => 50
+  | _, _ => 60
+def main : Nat := eval 0 1
+""",
+]
+
+
+@given(index=st.integers(0, len(_ROUNDTRIP_SOURCES) - 1))
+@settings(max_examples=len(_ROUNDTRIP_SOURCES), deadline=None)
+def test_lp_module_print_parse_roundtrip(index):
+    source = _ROUNDTRIP_SOURCES[index]
+    module = generate_lp_module(insert_rc(Frontend.to_pure(source)))
+    verify(module)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify(reparsed)
+    assert print_module(reparsed) == text

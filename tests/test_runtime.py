@@ -1,0 +1,233 @@
+"""Tests for the simulated LEAN runtime: heap, closures, builtins."""
+
+import pytest
+
+from repro.runtime import (
+    ArrayObject,
+    CtorObject,
+    Enum,
+    Heap,
+    RuntimeContext,
+    RuntimeError_,
+    Scalar,
+    call_builtin,
+    extend_closure,
+    int_value,
+    is_builtin,
+    make_closure,
+    python_value,
+    tag_of,
+)
+
+
+class TestHeapAndValues:
+    def test_small_ints_are_scalars(self):
+        heap = Heap()
+        v = heap.alloc_int(42)
+        assert isinstance(v, Scalar)
+        assert heap.live_count == 0
+
+    def test_large_ints_are_heap_objects(self):
+        heap = Heap()
+        v = heap.alloc_int(10**30)
+        assert heap.live_count == 1
+        heap.dec(v)
+        assert heap.live_count == 0
+
+    def test_nullary_constructors_are_enums(self):
+        heap = Heap()
+        v = heap.alloc_ctor(3, [])
+        assert isinstance(v, Enum)
+        assert tag_of(v) == 3
+        assert heap.live_count == 0
+
+    def test_ctor_free_releases_fields(self):
+        heap = Heap()
+        inner = heap.alloc_ctor(1, [heap.alloc_int(10**30)])
+        outer = heap.alloc_ctor(2, [inner])
+        assert heap.live_count == 3
+        heap.dec(outer)
+        assert heap.live_count == 0
+        assert heap.stats.frees == 3
+
+    def test_inc_keeps_object_alive(self):
+        heap = Heap()
+        obj = heap.alloc_ctor(0, [Scalar(1)])
+        heap.inc(obj)
+        heap.dec(obj)
+        assert heap.live_count == 1
+        heap.dec(obj)
+        assert heap.live_count == 0
+
+    def test_double_free_detected(self):
+        heap = Heap()
+        obj = heap.alloc_ctor(0, [Scalar(1)])
+        heap.dec(obj)
+        with pytest.raises(RuntimeError_):
+            heap.dec(obj)
+
+    def test_leak_detected(self):
+        heap = Heap()
+        heap.alloc_ctor(0, [Scalar(1)])
+        with pytest.raises(RuntimeError_):
+            heap.check_balanced()
+
+    def test_scalar_rc_is_noop(self):
+        heap = Heap()
+        heap.inc(Scalar(5))
+        heap.dec(Scalar(5))
+        heap.check_balanced()
+
+    def test_python_value_conversion(self):
+        heap = Heap()
+        ctor = heap.alloc_ctor(1, [Scalar(3), Enum(0)])
+        assert python_value(ctor) == (1, (3, 0))
+        assert python_value(Scalar(7)) == 7
+
+    def test_statistics(self):
+        heap = Heap()
+        a = heap.alloc_ctor(0, [Scalar(1)])
+        heap.inc(a)
+        heap.dec(a)
+        heap.dec(a)
+        stats = heap.stats.as_dict()
+        assert stats["allocations"] == 1
+        assert stats["frees"] == 1
+        assert stats["peak_live"] == 1
+
+
+class TestClosures:
+    def test_unsaturated_extension_returns_new_closure(self):
+        heap = Heap()
+        closure = make_closure(heap, "f", 3, [Scalar(1)])
+        outcome = extend_closure(heap, closure, [Scalar(2)])
+        assert not outcome.is_call
+        assert outcome.closure.args and len(outcome.closure.args) == 2
+        heap.dec(outcome.closure)
+        heap.check_balanced()
+
+    def test_saturating_extension_requests_call(self):
+        heap = Heap()
+        closure = make_closure(heap, "f", 2, [Scalar(1)])
+        outcome = extend_closure(heap, closure, [Scalar(2)])
+        assert outcome.is_call
+        assert outcome.call_fn == "f"
+        assert [int_value(v) for v in outcome.call_args] == [1, 2]
+        heap.check_balanced()
+
+    def test_over_saturating_extension_reports_extra_args(self):
+        heap = Heap()
+        closure = make_closure(heap, "f", 1, [])
+        outcome = extend_closure(heap, closure, [Scalar(1), Scalar(2)])
+        assert outcome.is_call
+        assert outcome.extra_args and int_value(outcome.extra_args[0]) == 2
+
+    def test_shared_closure_extension_keeps_original(self):
+        heap = Heap()
+        closure = make_closure(heap, "f", 3, [Scalar(1)])
+        heap.inc(closure)  # two owners
+        outcome = extend_closure(heap, closure, [Scalar(2)])
+        assert heap.live_count == 2  # original + extended copy
+        heap.dec(closure)
+        heap.dec(outcome.closure)
+        heap.check_balanced()
+
+    def test_pap_arity_check(self):
+        heap = Heap()
+        with pytest.raises(RuntimeError_):
+            make_closure(heap, "f", 1, [Scalar(1), Scalar(2)])
+
+
+class TestBuiltins:
+    def setup_method(self):
+        self.ctx = RuntimeContext()
+
+    def call(self, name, *args):
+        return call_builtin(self.ctx, name, list(args))
+
+    def test_nat_arithmetic(self):
+        assert int_value(self.call("lean_nat_add", Scalar(2), Scalar(3))) == 5
+        assert int_value(self.call("lean_nat_sub", Scalar(2), Scalar(5))) == 0
+        assert int_value(self.call("lean_nat_mul", Scalar(6), Scalar(7))) == 42
+        assert int_value(self.call("lean_nat_div", Scalar(7), Scalar(2))) == 3
+        assert int_value(self.call("lean_nat_mod", Scalar(7), Scalar(2))) == 1
+
+    def test_int_division_truncates_towards_zero(self):
+        assert int_value(self.call("lean_int_div", Scalar(-7), Scalar(2))) == -3
+        assert int_value(self.call("lean_int_mod", Scalar(-7), Scalar(2))) == -1
+
+    def test_comparisons_return_bool_enums(self):
+        result = self.call("lean_nat_dec_lt", Scalar(1), Scalar(2))
+        assert isinstance(result, Enum) and result.tag == 1
+        result = self.call("lean_nat_dec_eq", Scalar(1), Scalar(2))
+        assert result.tag == 0
+
+    def test_bigint_arguments_released(self):
+        big = self.ctx.heap.alloc_int(10**30)
+        result = self.call("lean_nat_add", big, Scalar(1))
+        self.ctx.release(result)
+        self.ctx.heap.check_balanced()
+
+    def test_unknown_builtin_rejected(self):
+        assert not is_builtin("lean_does_not_exist")
+        with pytest.raises(RuntimeError_):
+            self.call("lean_does_not_exist")
+
+    def test_array_push_get_set_size(self):
+        array = self.call("lean_array_mk")
+        array = self.call("lean_array_push", array, Scalar(10))
+        array = self.call("lean_array_push", array, Scalar(20))
+        assert int_value(self.call("lean_array_size", self._share(array))) == 2
+        value = self.call("lean_array_get", self._share(array), Scalar(1))
+        assert int_value(value) == 20
+        array = self.call("lean_array_set", array, Scalar(0), Scalar(99))
+        value = self.call("lean_array_get", self._share(array), Scalar(0))
+        assert int_value(value) == 99
+        self.ctx.release(array)
+        self.ctx.heap.check_balanced()
+
+    def _share(self, value):
+        """Model an ``inc`` before a consuming use of a still-needed value."""
+        self.ctx.heap.inc(value)
+        return value
+
+    def test_unique_array_updates_in_place(self):
+        array = self.call("lean_array_mk")
+        array = self.call("lean_array_push", array, Scalar(1))
+        before = id(array)
+        array = self.call("lean_array_push", array, Scalar(2))
+        assert id(array) == before  # rc == 1, reused in place
+        self.ctx.release(array)
+
+    def test_shared_array_copied_on_write(self):
+        array = self.call("lean_array_mk")
+        array = self.call("lean_array_push", array, Scalar(1))
+        self.ctx.heap.inc(array)
+        updated = self.call("lean_array_set", array, Scalar(0), Scalar(5))
+        assert updated is not array
+        assert int_value(array.items[0]) == 1
+        assert int_value(updated.items[0]) == 5
+        self.ctx.release(array)
+        self.ctx.release(updated)
+        self.ctx.heap.check_balanced()
+
+    def test_array_bounds_checked(self):
+        array = self.call("lean_array_mk")
+        with pytest.raises(RuntimeError_):
+            self.call("lean_array_get", array, Scalar(3))
+
+    def test_array_swap(self):
+        array = self.call("lean_array_mk")
+        for v in (1, 2, 3):
+            array = self.call("lean_array_push", array, Scalar(v))
+        array = self.call("lean_array_swap", array, Scalar(0), Scalar(2))
+        assert [int_value(v) for v in array.items] == [3, 2, 1]
+        self.ctx.release(array)
+
+    def test_io_println_captures_output(self):
+        self.call("lean_io_println", Scalar(42))
+        assert self.ctx.output == ["42"]
+
+    def test_nat_to_int_and_back(self):
+        assert int_value(self.call("lean_nat_to_int", Scalar(5))) == 5
+        assert int_value(self.call("lean_int_to_nat", Scalar(-5))) == 0
