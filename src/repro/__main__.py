@@ -1,0 +1,178 @@
+"""Command-line driver: compile and run a mini-LEAN program.
+
+Usage::
+
+    python -m repro program.lean
+    python -m repro program.lean --variant rc-opt+reuse --metrics
+    python -m repro program.lean --variant baseline --rc-mode opt
+    python -m repro program.lean --emit c          # print the C artifact
+    python -m repro program.lean --emit lp         # print the lp module
+    python -m repro program.lean --emit cfg        # print the final CFG module
+    python -m repro - < program.lean               # read from stdin
+
+The ``--variant`` flag selects the pipeline configuration: ``baseline`` is
+the λrc-interpreting leanc analogue; everything else runs the lp+rgn MLIR
+pipeline (``default``, the Figure-10 ablations ``simplifier`` / ``rgn`` /
+``none``, and the RC-optimisation ablations ``rc-naive`` / ``rc-opt`` /
+``rc-opt+reuse``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .backend.pipeline import (
+    FIGURE10_VARIANTS,
+    RC_VARIANTS,
+    BaselineCompiler,
+    MlirCompiler,
+    PipelineOptions,
+)
+from .interp.cfg_interp import CfgInterpreter
+from .interp.rc_interp import RcInterpreter
+from .ir.printer import print_module
+
+VARIANTS = ("default", "baseline", *FIGURE10_VARIANTS, *RC_VARIANTS)
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _print_run_report(result, *, show_metrics: bool) -> None:
+    for line in result.output:
+        print(line)
+    print(f"result: {result.value}")
+    if not show_metrics:
+        return
+    metrics = result.metrics
+    heap = result.heap_stats
+    print(
+        f"[metrics] cost={metrics.total_cost()} "
+        f"operations={metrics.total_operations()} "
+        f"wall={metrics.wall_time_seconds * 1e3:.2f}ms"
+    )
+    print(
+        f"[heap] allocations={heap['allocations']} frees={heap['frees']} "
+        f"peak_live={heap['peak_live']} reuses={heap.get('reuses', 0)}"
+    )
+    rc_events = metrics.counts.get("rc", 0) + metrics.counts.get("reuse", 0)
+    print(
+        f"[rc] rc_ops={metrics.counts.get('rc', 0)} "
+        f"reuse_ops={metrics.counts.get('reuse', 0)} "
+        f"rc_events={rc_events}"
+    )
+
+
+def _print_rc_report(report) -> None:
+    if report is None or report.mode == "naive":
+        return
+    print(
+        f"[rc_opt] mode={report.mode} "
+        f"borrowed_params={report.borrowed_parameters} "
+        f"fused_pairs={report.fusion.cancelled_pairs} "
+        f"merged_ops={report.fusion.merged_ops} "
+        f"reuse_pairs={report.reuse.reuse_pairs}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("file", help="mini-LEAN source file ('-' for stdin)")
+    parser.add_argument(
+        "--variant", choices=VARIANTS, default="default",
+        help="pipeline variant to compile with (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rc-mode", choices=("naive", "opt", "opt+reuse"), default=None,
+        help="RC optimisation level (overrides the level implied by --variant)",
+    )
+    parser.add_argument(
+        "--emit", choices=("c", "lp", "cfg"), default=None,
+        help="print a compilation artifact instead of running",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the cost model, heap and RC statistics after the result",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print per-pass wall time and rewrite counters while compiling",
+    )
+    parser.add_argument(
+        "--no-check-heap", action="store_true",
+        help="skip the zero-leak / no-double-free heap check at exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        source = _read_source(args.file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    check_heap = not args.no_check_heap
+    try:
+        if args.variant == "baseline":
+            compiler = BaselineCompiler(rc_mode=args.rc_mode or "naive")
+            artifacts = compiler.compile(source)
+            if args.emit:
+                if args.emit != "c":
+                    print(
+                        "error: the baseline pipeline only emits C",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print(artifacts.c_source)
+                return 0
+            if args.verbose:
+                _print_rc_report(artifacts.rc_report)
+            result = RcInterpreter(artifacts.rc_program).run_main(
+                check_heap=check_heap
+            )
+        else:
+            options = (
+                PipelineOptions()
+                if args.variant == "default"
+                else PipelineOptions.variant(args.variant)
+            )
+            if args.rc_mode is not None:
+                options.rc_mode = args.rc_mode
+            options.verbose_passes = args.verbose
+            artifacts = MlirCompiler(options).compile(source)
+            if args.emit == "c":
+                print(
+                    "error: the lp+rgn pipeline does not emit C; "
+                    "use --variant baseline",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.emit == "lp":
+                print(print_module(artifacts.lp_module))
+                return 0
+            if args.emit == "cfg":
+                print(print_module(artifacts.cfg_module))
+                return 0
+            if args.verbose:
+                _print_rc_report(artifacts.rc_report)
+            result = CfgInterpreter(artifacts.cfg_module).run_main(
+                check_heap=check_heap
+            )
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    _print_run_report(result, show_metrics=args.metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

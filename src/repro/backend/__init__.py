@@ -6,6 +6,7 @@ from .lp_codegen import CodegenError, generate_lp_module
 from .lp_to_rgn import LpToRgnPass, lower_lp_to_rgn
 from .pipeline import (
     FIGURE10_VARIANTS,
+    RC_VARIANTS,
     BaselineCompiler,
     CompilationArtifacts,
     Frontend,
@@ -15,6 +16,7 @@ from .pipeline import (
     run_all_backends,
     run_baseline,
     run_mlir,
+    run_rc_variant,
     run_reference,
 )
 from .rgn_to_cf import RgnToCfPass, lower_rgn_to_cf
@@ -26,6 +28,7 @@ __all__ = [
     "LpToRgnPass",
     "lower_lp_to_rgn",
     "FIGURE10_VARIANTS",
+    "RC_VARIANTS",
     "BaselineCompiler",
     "CompilationArtifacts",
     "Frontend",
@@ -35,6 +38,7 @@ __all__ = [
     "run_all_backends",
     "run_baseline",
     "run_mlir",
+    "run_rc_variant",
     "run_reference",
     "RgnToCfPass",
     "lower_rgn_to_cf",

@@ -47,7 +47,9 @@ from ..lambda_pure.ir import (
     PAp,
     Program,
     Proj,
+    Reset,
     Ret,
+    Reuse,
     Unreachable,
 )
 
@@ -90,6 +92,13 @@ class LpCodegen:
             return builder.create(lp_dialect.ConstructOp, expr.tag, fields).result()
         if isinstance(expr, Proj):
             return builder.create(lp_dialect.ProjectOp, env[expr.var], expr.index).result()
+        if isinstance(expr, Reset):
+            return builder.create(lp_dialect.ResetOp, env[expr.var]).result()
+        if isinstance(expr, Reuse):
+            fields = [env[a] for a in expr.args]
+            return builder.create(
+                lp_dialect.ReuseOp, env[expr.token], expr.tag, fields
+            ).result()
         if isinstance(expr, Call):
             args = [env[a] for a in expr.args]
             return builder.create(CallOp, expr.fn, args, [box]).result()

@@ -14,6 +14,12 @@ Variants (Figure 10):
     * ``rgn``        — λpure simplifier off (LEAN's ``simp_case`` disabled),
       rgn optimisations on,
     * ``none``       — both off.
+
+RC-optimisation ablation variants (the :mod:`repro.rc_opt` subsystem, which
+runs between RC insertion and backend lowering):
+    * ``rc-naive``     — the seed owned-arguments discipline,
+    * ``rc-opt``       — borrow inference + dup/drop fusion,
+    * ``rc-opt+reuse`` — ``rc-opt`` plus constructor-reuse analysis.
 """
 
 from __future__ import annotations
@@ -29,9 +35,9 @@ from ..interp.reference import ReferenceInterpreter, normalize
 from ..lambda_pure.ir import Program as PureProgram
 from ..lambda_pure.lowering import lower_program
 from ..lambda_pure.simplifier import simplify_program
-from ..lambda_rc.refcount import insert_rc
 from ..lean.parser import parse_program
 from ..lean.typecheck import check_program
+from ..rc_opt import LpRcFusionPass, RcOptReport, insert_optimized_rc
 from ..rewrite.pass_manager import PassManager
 from ..transforms.case_elimination import CaseEliminationPass
 from ..transforms.common_branch import CommonBranchEliminationPass
@@ -63,22 +69,30 @@ class PipelineOptions:
     enable_common_branch_elimination: bool = True
     enable_constant_fold: bool = True
     enable_cse: bool = True
+    #: RC optimisation level applied between RC insertion and lowering
+    #: ("naive", "opt" or "opt+reuse"; see :mod:`repro.rc_opt`).
+    rc_mode: str = "naive"
     #: Verify the IR after every pass (slower; on by default in tests).
     verify_each: bool = True
+    #: Print per-pass wall time and rewrite counters while compiling.
+    verbose_passes: bool = False
 
     @classmethod
     def variant(cls, name: str) -> "PipelineOptions":
-        """The three variants compared in Figure 10."""
+        """The variants of Figure 10 and of the RC-optimisation ablation."""
         if name == "simplifier":
             return cls(run_lambda_simplifier=True, run_rgn_optimizations=False)
         if name == "rgn":
             return cls(run_lambda_simplifier=False, run_rgn_optimizations=True)
         if name == "none":
             return cls(run_lambda_simplifier=False, run_rgn_optimizations=False)
+        if name in RC_VARIANTS:
+            return cls(rc_mode=name[len("rc-"):])
         raise ValueError(f"unknown pipeline variant {name!r}")
 
 
 FIGURE10_VARIANTS = ("simplifier", "rgn", "none")
+RC_VARIANTS = ("rc-naive", "rc-opt", "rc-opt+reuse")
 
 
 @dataclass
@@ -92,6 +106,7 @@ class CompilationArtifacts:
     cfg_module: Optional[ModuleOp] = None
     c_source: Optional[str] = None
     pass_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    rc_report: Optional[RcOptReport] = None
 
 
 class Frontend:
@@ -120,27 +135,31 @@ def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
     if options.enable_dead_region_elimination:
         passes.append(DeadRegionEliminationPass())
     passes.append(DeadCodeEliminationPass())
-    return PassManager(passes, verify_each=options.verify_each)
+    return PassManager(
+        passes, verify_each=options.verify_each, verbose=options.verbose_passes
+    )
 
 
 class BaselineCompiler:
     """The baseline ("leanc") pipeline: λrc executed directly, C emitted as
     an artifact."""
 
-    def __init__(self, *, enable_simplifier: bool = True):
+    def __init__(self, *, enable_simplifier: bool = True, rc_mode: str = "naive"):
         self.enable_simplifier = enable_simplifier
+        self.rc_mode = rc_mode
 
     def compile(self, source: str) -> CompilationArtifacts:
         pure = Frontend.to_pure(source)
         optimized = (
             simplify_program(copy.deepcopy(pure)) if self.enable_simplifier else pure
         )
-        rc = insert_rc(optimized)
+        rc, rc_report = insert_optimized_rc(optimized, self.rc_mode)
         return CompilationArtifacts(
             surface_source=source,
             pure_program=pure,
             rc_program=rc,
             c_source=emit_c_source(rc),
+            rc_report=rc_report,
         )
 
     def run(self, source: str, *, check_heap: bool = True) -> RunResult:
@@ -162,21 +181,36 @@ class MlirCompiler:
             staged = simplify_program(
                 staged, enable_simp_case=options.enable_simp_case
             )
-        rc = insert_rc(staged)
+        rc, rc_report = insert_optimized_rc(staged, options.rc_mode)
         lp_module = generate_lp_module(rc)
         artifacts = CompilationArtifacts(
             surface_source=source,
             pure_program=pure,
             rc_program=rc,
             lp_module=lp_module,
+            rc_report=rc_report,
         )
+        if options.rc_mode != "naive":
+            # The SSA twin of dup/drop fusion: catches pairs exposed by
+            # lowering λrc trees into lp blocks.
+            lp_fusion = PassManager(
+                [LpRcFusionPass()],
+                verify_each=options.verify_each,
+                verbose=options.verbose_passes,
+            )
+            lp_fusion.run(lp_module)
+            artifacts.pass_statistics.update(
+                (name, stats.counters)
+                for name, stats in lp_fusion.statistics.items()
+            )
         cfg_module = lower_lp_to_rgn(lp_module)
         if options.run_rgn_optimizations:
             pipeline = rgn_optimization_pipeline(options)
             pipeline.run(cfg_module)
-            artifacts.pass_statistics = {
-                name: stats.counters for name, stats in pipeline.statistics.items()
-            }
+            artifacts.pass_statistics.update(
+                (name, stats.counters)
+                for name, stats in pipeline.statistics.items()
+            )
         cfg_module = lower_rgn_to_cf(cfg_module)
         artifacts.cfg_module = cfg_module
         return artifacts
@@ -192,9 +226,11 @@ def run_reference(source: str):
     return normalize(ReferenceInterpreter(pure).run_main())
 
 
-def run_baseline(source: str, *, check_heap: bool = True) -> RunResult:
+def run_baseline(
+    source: str, *, check_heap: bool = True, rc_mode: str = "naive"
+) -> RunResult:
     """Compile and run via the baseline ("leanc") pipeline."""
-    return BaselineCompiler().run(source, check_heap=check_heap)
+    return BaselineCompiler(rc_mode=rc_mode).run(source, check_heap=check_heap)
 
 
 def run_mlir(
@@ -207,10 +243,25 @@ def run_mlir(
     return MlirCompiler(options).run(source, check_heap=check_heap)
 
 
+def run_rc_variant(
+    source: str, variant: str, *, check_heap: bool = True
+) -> RunResult:
+    """Compile and run via the lp+rgn pipeline at one RC optimisation level
+    (``rc-naive`` / ``rc-opt`` / ``rc-opt+reuse``)."""
+    if variant not in RC_VARIANTS:
+        raise ValueError(f"unknown RC variant {variant!r}")
+    return run_mlir(source, PipelineOptions.variant(variant), check_heap=check_heap)
+
+
 def run_all_backends(source: str) -> Dict[str, RunResult]:
     """Run every pipeline variant on ``source`` (used by differential tests)."""
     results: Dict[str, RunResult] = {"baseline": run_baseline(source)}
     for variant in FIGURE10_VARIANTS:
         results[f"mlir-{variant}"] = run_mlir(source, PipelineOptions.variant(variant))
     results["mlir-default"] = run_mlir(source)
+    for variant in RC_VARIANTS[1:]:
+        results[f"mlir-{variant}"] = run_mlir(source, PipelineOptions.variant(variant))
+        results[f"baseline-{variant}"] = run_baseline(
+            source, rc_mode=variant[len("rc-"):]
+        )
     return results

@@ -221,6 +221,58 @@ class DecOp(Operation):
         return self.attributes["count"].value
 
 
+@lp_dialect.register_op
+class ResetOp(Operation):
+    """``lp.reset`` — consume a reference to a constructor value and yield a
+    reuse token (λrc reuse analysis).
+
+    A uniquely-referenced cell releases its fields and becomes a live token;
+    a shared cell is decremented and the token is null.
+    """
+
+    OP_NAME = "lp.reset"
+
+    def __init__(self, value: Value):
+        super().__init__(operands=[value], result_types=[box])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+@lp_dialect.register_op
+class ReuseOp(Operation):
+    """``lp.reuse`` — construct a tagged value through a reuse token,
+    recycling the token's memory cell in place when it is live and falling
+    back to a fresh allocation when it is null."""
+
+    OP_NAME = "lp.reuse"
+
+    def __init__(self, token: Value, tag: int, fields: Sequence[Value] = ()):
+        super().__init__(
+            operands=[token, *fields],
+            result_types=[box],
+            attributes={"tag": IntegerAttr(tag)},
+        )
+
+    @property
+    def token(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def tag(self) -> int:
+        return self.attributes["tag"].value
+
+    @property
+    def fields(self) -> List[Value]:
+        return list(self.operands[1:])
+
+    def verify_(self) -> None:
+        for i, f in enumerate(self.operands):
+            if not isinstance(f.type, BoxType):
+                raise ValueError(f"lp.reuse operand {i} must be !lp.t")
+
+
 # ---------------------------------------------------------------------------
 # Control flow
 # ---------------------------------------------------------------------------

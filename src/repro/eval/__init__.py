@@ -4,6 +4,7 @@ from .benchmarks import BENCHMARK_NAMES, DEFAULT_SIZES, benchmark_sources
 from .harness import (
     EvaluationHarness,
     FigureData,
+    RcTableRow,
     SpeedupRow,
     VariantMeasurement,
     geometric_mean,
@@ -16,6 +17,7 @@ __all__ = [
     "benchmark_sources",
     "EvaluationHarness",
     "FigureData",
+    "RcTableRow",
     "SpeedupRow",
     "VariantMeasurement",
     "geometric_mean",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.eval.figures --figure 9
     python -m repro.eval.figures --figure 10
     python -m repro.eval.figures --figure 11
+    python -m repro.eval.figures --figure rc
     python -m repro.eval.figures --all
 
 Each report prints the same rows/series as the paper's figure; absolute
@@ -137,6 +138,48 @@ def figure11_table() -> str:
     return "\n".join(lines)
 
 
+def rc_report(harness: Optional[EvaluationHarness] = None) -> str:
+    """The RC-optimisation ablation (the :mod:`repro.rc_opt` subsystem):
+    executed RC operations and heap allocations per benchmark for
+    ``rc-naive`` / ``rc-opt`` / ``rc-opt+reuse``."""
+    harness = harness or EvaluationHarness()
+    rows = harness.rc_table()
+    title = "RC optimisation: rc ops and allocations by variant"
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'benchmark':18s} {'rc naive':>9s} {'rc opt':>9s} {'Δrc':>7s}"
+        f" {'alloc naive':>12s} {'alloc reuse':>12s} {'Δalloc':>7s} {'reused':>7s}"
+    )
+    lines.append(header)
+    for row in rows:
+        naive = row.measurements["rc-naive"]
+        opt = row.measurements["rc-opt"]
+        reuse = row.measurements["rc-opt+reuse"]
+        lines.append(
+            f"{row.benchmark:18s} {naive.rc_ops:9d} {opt.rc_ops:9d}"
+            f" {row.rc_reduction('rc-opt'):6.1%}"
+            f" {naive.allocations:12d} {reuse.allocations:12d}"
+            f" {row.allocation_reduction('rc-opt+reuse'):6.1%}"
+            f" {reuse.reuses:7d}"
+        )
+    total_naive_rc = sum(r.measurements["rc-naive"].rc_ops for r in rows)
+    total_opt_rc = sum(r.measurements["rc-opt"].rc_ops for r in rows)
+    total_naive_alloc = sum(r.measurements["rc-naive"].allocations for r in rows)
+    total_reuse_alloc = sum(r.measurements["rc-opt+reuse"].allocations for r in rows)
+    total_reuses = sum(r.measurements["rc-opt+reuse"].reuses for r in rows)
+    lines.append("-" * len(header))
+    rc_delta = 1.0 - total_opt_rc / total_naive_rc if total_naive_rc else 0.0
+    alloc_delta = (
+        1.0 - total_reuse_alloc / total_naive_alloc if total_naive_alloc else 0.0
+    )
+    lines.append(
+        f"{'total':18s} {total_naive_rc:9d} {total_opt_rc:9d} {rc_delta:6.1%}"
+        f" {total_naive_alloc:12d} {total_reuse_alloc:12d} {alloc_delta:6.1%}"
+        f" {total_reuses:7d}"
+    )
+    return "\n".join(lines)
+
+
 def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
     harness = harness or EvaluationHarness()
     report = harness.verify_correctness()
@@ -150,7 +193,7 @@ def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--figure", choices=["9", "10", "11"], default=None)
+    parser.add_argument("--figure", choices=["9", "10", "11", "rc"], default=None)
     parser.add_argument("--all", action="store_true", help="print every figure")
     parser.add_argument(
         "--correctness", action="store_true", help="print the correctness report"
@@ -172,6 +215,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         printed = True
     if args.all or args.figure == "11":
         print(figure11_table())
+        printed = True
+    if args.all or args.figure == "rc":
+        print(rc_report(harness))
         printed = True
     if not printed:
         parser.print_help()

@@ -9,6 +9,7 @@ from typing import Dict, List, Optional
 
 from ..backend.pipeline import (
     FIGURE10_VARIANTS,
+    RC_VARIANTS,
     PipelineOptions,
     run_baseline,
     run_mlir,
@@ -29,6 +30,7 @@ class VariantMeasurement:
     wall_time_seconds: float
     allocations: int
     rc_ops: int
+    reuses: int = 0
 
 
 @dataclass
@@ -84,7 +86,31 @@ def _measure(benchmark: str, variant: str, source: str) -> VariantMeasurement:
         wall_time_seconds=result.metrics.wall_time_seconds,
         allocations=result.heap_stats["allocations"],
         rc_ops=counts.get("rc", 0),
+        reuses=result.heap_stats.get("reuses", 0),
     )
+
+
+@dataclass
+class RcTableRow:
+    """One benchmark's RC traffic across the RC-optimisation variants."""
+
+    benchmark: str
+    #: variant name -> measurement (``rc-naive``, ``rc-opt``, ``rc-opt+reuse``).
+    measurements: Dict[str, VariantMeasurement] = field(default_factory=dict)
+
+    def rc_reduction(self, variant: str = "rc-opt") -> float:
+        """Fractional reduction of executed RC operations vs ``rc-naive``."""
+        naive = self.measurements["rc-naive"].rc_ops
+        if naive == 0:
+            return 0.0
+        return 1.0 - self.measurements[variant].rc_ops / naive
+
+    def allocation_reduction(self, variant: str = "rc-opt+reuse") -> float:
+        """Fractional reduction of heap allocations vs ``rc-naive``."""
+        naive = self.measurements["rc-naive"].allocations
+        if naive == 0:
+            return 0.0
+        return 1.0 - self.measurements[variant].allocations / naive
 
 
 class EvaluationHarness:
@@ -158,10 +184,27 @@ class EvaluationHarness:
             )
         return data
 
+    # -- RC optimisation table ------------------------------------------------------------
+    def rc_table(self) -> List[RcTableRow]:
+        """RC traffic (``rc_ops``) and heap allocations per benchmark for the
+        RC ablation variants — the reporting surface of :mod:`repro.rc_opt`."""
+        rows: List[RcTableRow] = []
+        for name, source in self.sources.items():
+            row = RcTableRow(benchmark=name)
+            values = set()
+            for variant in RC_VARIANTS:
+                measurement = _measure(name, variant, source)
+                row.measurements[variant] = measurement
+                values.add(measurement.value)
+            if len(values) != 1:
+                raise AssertionError(f"{name}: RC variants disagree: {values}")
+            rows.append(row)
+        return rows
+
     # -- raw measurements ---------------------------------------------------------------------
     def all_measurements(self) -> List[VariantMeasurement]:
         measurements: List[VariantMeasurement] = []
         for name, source in self.sources.items():
-            for variant in ("baseline", "default", *FIGURE10_VARIANTS):
+            for variant in ("baseline", "default", *FIGURE10_VARIANTS, *RC_VARIANTS):
                 measurements.append(_measure(name, variant, source))
         return measurements

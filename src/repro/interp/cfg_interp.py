@@ -218,6 +218,19 @@ class CfgInterpreter:
             self.metrics.charge("rc")
             self.ctx.heap.dec(env[op.operands[0]], op.count)
             return None
+        if isinstance(op, lp.ResetOp):
+            self.metrics.charge("rc")
+            env[op.result()] = self.ctx.heap.reset(env[op.operands[0]])
+            return None
+        if isinstance(op, lp.ReuseOp):
+            token = env[op.operands[0]]
+            fields = [env[f] for f in op.operands[1:]]
+            if isinstance(token, CtorObject):
+                self.metrics.charge("reuse")
+            else:
+                self.metrics.charge("alloc_ctor" if fields else "move")
+            env[op.result()] = self.ctx.heap.reuse(token, op.tag, fields)
+            return None
 
         # Calls and globals ---------------------------------------------------
         if isinstance(op, CallOp):

@@ -21,6 +21,7 @@ DEFAULT_COSTS: Dict[str, int] = {
     "return": 1,
     "runtime_call": 8,   # call into the LEAN runtime (big-int arithmetic, arrays, ...)
     "alloc_ctor": 10,    # heap allocation of a constructor
+    "reuse": 3,          # in-place constructor reuse (tag + field stores, no allocator)
     "alloc_closure": 12, # heap allocation of a closure
     "apply": 12,         # closure extension / saturation (lean_apply_n)
     "proj": 2,           # field projection

@@ -33,7 +33,9 @@ from ..lambda_pure.ir import (
     PAp,
     Program,
     Proj,
+    Reset,
     Ret,
+    Reuse,
     Unreachable,
 )
 from ..runtime import (
@@ -148,6 +150,19 @@ class RcInterpreter:
             self.ctx.heap.inc(field)
             self.metrics.charge("rc")
             return field
+        if isinstance(expr, Reset):
+            # One RC event: either releases the fields of a unique cell or
+            # performs the decrement the replaced ``dec`` would have.
+            self.metrics.charge("rc")
+            return self.ctx.heap.reset(env[expr.var])
+        if isinstance(expr, Reuse):
+            token = env[expr.token]
+            fields = [env[a] for a in expr.args]
+            if isinstance(token, CtorObject):
+                self.metrics.charge("reuse")
+            else:
+                self.metrics.charge("alloc_ctor" if fields else "move")
+            return self.ctx.heap.reuse(token, expr.tag, fields)
         if isinstance(expr, Call):
             return self.call(expr.fn, [env[a] for a in expr.args])
         if isinstance(expr, PAp):

@@ -141,6 +141,45 @@ class Lit(Expr):
         return str(self.value)
 
 
+@dataclass
+class Reset(Expr):
+    """``reset var`` — consume a (statically dead) constructor cell and yield
+    a *reuse token* (λrc reuse analysis, after Perceus / "Counting Immutable
+    Beans").
+
+    At runtime: if the cell is uniquely referenced its fields are released
+    and the cell itself is returned for in-place reuse; otherwise the
+    reference is dropped and a null token is returned.
+    """
+
+    var: str
+
+    def arg_vars(self) -> List[str]:
+        return [self.var]
+
+    def __str__(self):
+        return f"reset {self.var}"
+
+
+@dataclass
+class Reuse(Expr):
+    """``reuse token in ctor_tag(args)`` — construct a value, reusing the
+    memory cell held by ``token`` when it is live (same-arity reuse)."""
+
+    token: str
+    tag: int
+    args: List[str] = field(default_factory=list)
+    type_name: str = ""
+    ctor_name: str = ""
+
+    def arg_vars(self) -> List[str]:
+        return [self.token, *self.args]
+
+    def __str__(self):
+        name = self.ctor_name or f"ctor_{self.tag}"
+        return f"reuse {self.token} in {name}({', '.join(self.args)})"
+
+
 # ---------------------------------------------------------------------------
 # Function bodies
 # ---------------------------------------------------------------------------
@@ -277,6 +316,9 @@ class Function:
     #: number of leading parameters that are borrowed (not consumed);
     #: our simplified RC scheme treats all parameters as owned, so this is 0.
     borrowed: int = 0
+    #: indices of parameters passed *borrowed* (no ownership transfer), as
+    #: computed by :mod:`repro.rc_opt.borrow`; empty under the naive scheme.
+    borrowed_params: Tuple[int, ...] = ()
 
     @property
     def arity(self) -> int:

@@ -5,6 +5,13 @@ The IR node classes are shared with :mod:`repro.lambda_pure`; a program is
 """
 
 from ..lambda_pure.ir import Dec, Inc
-from .refcount import RCInserter, insert_rc, insert_rc_function
+from .refcount import BorrowSignatures, RCInserter, insert_rc, insert_rc_function
 
-__all__ = ["Dec", "Inc", "RCInserter", "insert_rc", "insert_rc_function"]
+__all__ = [
+    "BorrowSignatures",
+    "Dec",
+    "Inc",
+    "RCInserter",
+    "insert_rc",
+    "insert_rc_function",
+]

@@ -20,11 +20,17 @@ Perceus/"Counting Immutable Beans" scheme):
   ``jmp`` to it (they are consumed by the join body, not at the jump site),
   which keeps every control-flow path balanced.
 
-The scheme is deliberately not optimal (it performs no borrow inference for
-function parameters and no reuse analysis) — the paper's evaluation does not
-depend on RC optimisation — but it is *balanced*: the runtime's heap checker
-verifies that every program ends with zero live objects and never
+The naive scheme is deliberately not optimal — the paper's evaluation does
+not depend on RC optimisation — but it is *balanced*: the runtime's heap
+checker verifies that every program ends with zero live objects and never
 double-frees.
+
+Optionally, insertion can consume *borrow signatures* computed by
+:mod:`repro.rc_opt.borrow` (a fixpoint over the call graph).  A borrowed
+parameter is not owned by the callee: the callee neither releases it nor
+counts it among its held references, and callers do not transfer ownership
+when passing arguments in borrowed positions — eliminating inc/dec traffic
+for parameters that are only inspected (cased / projected).
 """
 
 from __future__ import annotations
@@ -57,13 +63,24 @@ from ..lambda_pure.ir import (
 #: join label -> (params, free variables of the join body)
 JoinEnv = Dict[str, Tuple[List[str], Set[str]]]
 
+#: function name -> indices of its borrowed parameters
+BorrowSignatures = Dict[str, frozenset]
+
 
 class RCInserter:
     """Inserts ``inc``/``dec`` instructions into one function."""
 
-    def __init__(self):
+    def __init__(
+        self,
+        borrow_signatures: Optional[BorrowSignatures] = None,
+        borrowed_vars: Optional[Set[str]] = None,
+    ):
         self.incs_inserted = 0
         self.decs_inserted = 0
+        self.borrow_signatures = borrow_signatures or {}
+        #: names of the current function's borrowed parameters; these are
+        #: never owned anywhere in the body (join bodies included).
+        self.borrowed_vars = borrowed_vars or set()
 
     # -- helpers --------------------------------------------------------------
     def _wrap_incs(self, body: FnBody, variables: List[str]) -> FnBody:
@@ -140,7 +157,10 @@ class RCInserter:
             new_joins[body.label] = (body.params, jfree)
             # The join body owns its parameters plus the captured free
             # variables; every jmp arrives holding exactly that set.
-            jbody_held = set(body.params) | set(jfree)
+            # Borrowed function parameters are excluded: the caller keeps
+            # them alive for the whole activation, so neither the jump sites
+            # nor the join body ever own (or release) them.
+            jbody_held = set(body.params) | (set(jfree) - self.borrowed_vars)
             new_jbody = self.visit(body.jbody, jbody_held, new_joins)
             new_rest = self.visit(body.rest, set(held), new_joins)
             return JDecl(body.label, body.params, new_jbody, new_rest)
@@ -168,7 +188,20 @@ class RCInserter:
         held = set(held)
 
         incs: List[str] = []
-        if isinstance(expr, (Ctor, Call, PAp, App)):
+        if isinstance(expr, Call):
+            borrowed_positions = self.borrow_signatures.get(expr.fn, frozenset())
+            consumed = [
+                a for i, a in enumerate(expr.args) if i not in borrowed_positions
+            ]
+            borrowed_here = {
+                a for i, a in enumerate(expr.args) if i in borrowed_positions
+            }
+            # A variable passed both owned and borrowed in the same call must
+            # survive the ownership transfer (the callee may release the
+            # owned reference before its last borrowed use), so treat the
+            # borrowed occurrences as live across the call.
+            incs = self._consume(consumed, continuation_live | borrowed_here, held)
+        elif isinstance(expr, (Ctor, PAp, App)):
             consumed = expr.arg_vars()
             incs = self._consume(consumed, continuation_live, held)
         # Proj and Lit borrow/consume nothing.
@@ -184,26 +217,44 @@ class RCInserter:
         return self._wrap_incs(Let(body.var, expr, inner), incs)
 
 
-def insert_rc_function(fn: Function) -> Function:
+def insert_rc_function(
+    fn: Function, borrow_signatures: Optional[BorrowSignatures] = None
+) -> Function:
     """Insert reference counting into a single λpure function."""
-    inserter = RCInserter()
-    held = set(fn.params)
+    borrowed = (borrow_signatures or {}).get(fn.name, frozenset())
+    borrowed_names = {p for i, p in enumerate(fn.params) if i in borrowed}
+    inserter = RCInserter(borrow_signatures, borrowed_names)
+    owned_params = [p for i, p in enumerate(fn.params) if i not in borrowed]
+    held = set(owned_params)
     live = free_vars(fn.body)
-    # Parameters never used at all must still be released.
-    dead_params = [p for p in fn.params if p not in live]
+    # Owned parameters never used at all must still be released (borrowed
+    # parameters stay owned by the caller and are never released here).
+    dead_params = [p for p in owned_params if p not in live]
     for p in dead_params:
         held.discard(p)
     body = inserter.visit(fn.body, held, {})
     body = inserter._wrap_decs(body, dead_params)
-    return Function(fn.name, fn.params, body, fn.borrowed)
+    return Function(
+        fn.name,
+        fn.params,
+        body,
+        fn.borrowed,
+        borrowed_params=tuple(sorted(borrowed)),
+    )
 
 
-def insert_rc(program: Program) -> Program:
+def insert_rc(
+    program: Program, borrow_signatures: Optional[BorrowSignatures] = None
+) -> Program:
     """λpure → λrc: insert ``inc``/``dec`` into every function.
+
+    ``borrow_signatures`` (function name → indices of borrowed parameters)
+    switches insertion from the naive all-owned discipline to the borrow
+    discipline; see :mod:`repro.rc_opt.borrow`.
 
     Returns a new :class:`Program`; the input is not modified.
     """
     result = Program(constructors=dict(program.constructors), main=program.main)
     for name, fn in program.functions.items():
-        result.functions[name] = insert_rc_function(fn)
+        result.functions[name] = insert_rc_function(fn, borrow_signatures)
     return result

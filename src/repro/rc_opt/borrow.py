@@ -1,0 +1,230 @@
+"""Borrow inference — per-function borrow signatures via a call-graph fixpoint.
+
+A parameter may be passed *borrowed* (no ownership transfer, hence no
+inc/dec traffic) when the function only ever inspects it: uses it as a
+``case`` scrutinee, a ``proj`` operand, or forwards it in a position that is
+itself borrowed.  Any owning use — storing it in a constructor or closure,
+returning it, passing it to a join point or to an owned parameter of a
+callee — forces the parameter to be owned.
+
+The analysis is the optimistic fixpoint of "Counting Immutable Beans" (Ullrich
+& de Moura) as adopted by Koka's Perceus: start with *every* eligible
+parameter marked borrowed and repeatedly demote parameters with an owning
+use until nothing changes.  Because a demotion can only create new owning
+uses at call sites (never remove one), the iteration is monotone and
+terminates — including through mutual recursion, where a stable all-borrowed
+signature survives precisely when the recursive cycle only inspects the
+parameter.
+
+Functions that escape as closures (``pap`` targets) keep all-owned
+signatures: the generic apply machinery always transfers ownership.  The
+program entry point keeps an owned signature as well (the driver owns the
+arguments it passes).
+
+Borrowing interacts with constructor reuse: a borrowed parameter is never
+``dec``-ed by the callee, so the dead cell that reuse analysis would pair
+with a same-arity constructor never appears.  :func:`reuse_critical_params`
+identifies parameters with such reuse potential so the ``opt+reuse``
+pipeline can keep them owned (the same owned-over-borrowed preference the
+Lean 4 compiler applies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..lambda_pure.ir import (
+    App,
+    Call,
+    Case,
+    Ctor,
+    Dec,
+    FnBody,
+    Function,
+    Inc,
+    JDecl,
+    Jmp,
+    Let,
+    PAp,
+    Program,
+    Proj,
+    Reset,
+    Ret,
+    Reuse,
+    Unreachable,
+)
+from ..lambda_rc.refcount import BorrowSignatures
+
+
+def _pap_targets(program: Program) -> Set[str]:
+    """Functions that escape as closures (all parameters must stay owned)."""
+    targets: Set[str] = set()
+
+    def walk(body: FnBody) -> None:
+        if isinstance(body, Let):
+            if isinstance(body.expr, PAp):
+                targets.add(body.expr.fn)
+            walk(body.body)
+        elif isinstance(body, Case):
+            for alt in body.alts:
+                walk(alt.body)
+            if body.default is not None:
+                walk(body.default)
+        elif isinstance(body, JDecl):
+            walk(body.jbody)
+            walk(body.rest)
+        elif isinstance(body, (Inc, Dec)):
+            walk(body.body)
+
+    for fn in program.functions.values():
+        walk(fn.body)
+    return targets
+
+
+def _owned_uses(fn: Function, signatures: BorrowSignatures) -> Set[str]:
+    """Variables of ``fn`` with at least one owning use, given the current
+    candidate signatures of its callees."""
+    owned: Set[str] = set()
+
+    def walk(body: FnBody) -> None:
+        if isinstance(body, Let):
+            expr = body.expr
+            if isinstance(expr, (Ctor, PAp, App, Reset, Reuse)):
+                owned.update(expr.arg_vars())
+            elif isinstance(expr, Call):
+                borrowed_positions = signatures.get(expr.fn, frozenset())
+                for index, arg in enumerate(expr.args):
+                    if index not in borrowed_positions:
+                        owned.add(arg)
+            # Proj and Lit only borrow.
+            walk(body.body)
+        elif isinstance(body, Ret):
+            owned.add(body.var)
+        elif isinstance(body, Jmp):
+            # Join parameters are owned by the join body; be conservative.
+            owned.update(body.args)
+        elif isinstance(body, Case):
+            # The scrutinee itself is borrowed; visit the branches.
+            for alt in body.alts:
+                walk(alt.body)
+            if body.default is not None:
+                walk(body.default)
+        elif isinstance(body, JDecl):
+            walk(body.jbody)
+            walk(body.rest)
+        elif isinstance(body, (Inc, Dec)):
+            walk(body.body)
+        elif isinstance(body, Unreachable):
+            pass
+        else:
+            raise TypeError(f"unknown FnBody node {body!r}")
+
+    walk(fn.body)
+    return owned
+
+
+def reuse_critical_params(program: Program) -> Dict[str, Set[int]]:
+    """Parameters with constructor-reuse potential (keep them owned).
+
+    A parameter is reuse-critical when the function cases on it and some
+    alternative of known positive arity constructs a same-arity value: once
+    the parameter is owned, RC insertion releases the dead cell inside that
+    branch and reuse analysis can pair the ``dec`` with the constructor.
+    """
+    from .reuse import constructor_arities
+
+    arities = constructor_arities(program)
+
+    def ctor_arities_in(body: FnBody, found: Set[int]) -> None:
+        if isinstance(body, Let):
+            if isinstance(body.expr, Ctor):
+                found.add(len(body.expr.args))
+            ctor_arities_in(body.body, found)
+        elif isinstance(body, Case):
+            for alt in body.alts:
+                ctor_arities_in(alt.body, found)
+            if body.default is not None:
+                ctor_arities_in(body.default, found)
+        elif isinstance(body, JDecl):
+            ctor_arities_in(body.jbody, found)
+            ctor_arities_in(body.rest, found)
+        elif isinstance(body, (Inc, Dec)):
+            ctor_arities_in(body.body, found)
+
+    critical: Dict[str, Set[int]] = {}
+
+    def walk(fn: Function, body: FnBody) -> None:
+        if isinstance(body, Case):
+            if body.var in fn.params:
+                for alt in body.alts:
+                    arity = arities.get((body.type_name, alt.tag))
+                    if arity is None or arity == 0:
+                        continue
+                    built: Set[int] = set()
+                    ctor_arities_in(alt.body, built)
+                    if arity in built:
+                        critical.setdefault(fn.name, set()).add(
+                            fn.params.index(body.var)
+                        )
+                        break
+            for alt in body.alts:
+                walk(fn, alt.body)
+            if body.default is not None:
+                walk(fn, body.default)
+        elif isinstance(body, Let):
+            walk(fn, body.body)
+        elif isinstance(body, JDecl):
+            walk(fn, body.jbody)
+            walk(fn, body.rest)
+        elif isinstance(body, (Inc, Dec)):
+            walk(fn, body.body)
+
+    for fn in program.functions.values():
+        walk(fn, fn.body)
+    return critical
+
+
+def infer_borrow_signatures(
+    program: Program, keep_owned: Optional[Dict[str, Set[int]]] = None
+) -> BorrowSignatures:
+    """Compute the greatest borrow signature for every function.
+
+    ``keep_owned`` (function name → parameter indices) excludes parameters
+    from borrowing up front — used to preserve constructor-reuse
+    opportunities (see :func:`reuse_critical_params`).
+
+    Returns a map ``function name -> frozenset of borrowed parameter
+    indices``; functions without an entry have all-owned parameters.
+    """
+    escaping = _pap_targets(program)
+    keep_owned = keep_owned or {}
+    signatures: Dict[str, frozenset] = {}
+    for name, fn in program.functions.items():
+        if name == program.main or name in escaping:
+            continue
+        pinned = keep_owned.get(name, set())
+        signatures[name] = frozenset(
+            index for index in range(fn.arity) if index not in pinned
+        )
+
+    changed = True
+    while changed:
+        changed = False
+        for name in list(signatures):
+            fn = program.functions[name]
+            owned = _owned_uses(fn, signatures)
+            demoted = frozenset(
+                index
+                for index in signatures[name]
+                if fn.params[index] not in owned
+            )
+            if demoted != signatures[name]:
+                signatures[name] = demoted
+                changed = True
+
+    return {name: sig for name, sig in signatures.items() if sig}
+
+
+def borrowed_parameter_count(signatures: BorrowSignatures) -> int:
+    """Total number of borrowed parameters across the program (reporting)."""
+    return sum(len(sig) for sig in signatures.values())

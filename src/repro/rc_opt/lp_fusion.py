@@ -1,0 +1,115 @@
+"""Dup/drop fusion on the lp dialect.
+
+The SSA twin of :mod:`repro.rc_opt.fusion`: within every basic block, scan
+maximal runs of consecutive ``lp.inc`` / ``lp.dec`` operations and
+
+* cancel an ``lp.inc`` against a later ``lp.dec`` of the *same SSA value*
+  in the same run (never the converse — a decrement may free), and
+* merge adjacent same-kind operations on the same value into a single op
+  with a larger ``count``.
+
+λrc-level fusion already normalises most of the traffic before code
+generation; this pass additionally catches pairs exposed by later lowering
+(e.g. join-point inlining in lp→rgn) and demonstrates the same optimisation
+expressed as a rewrite over region-based SSA rather than over a tree IR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dialects import lp
+from ..ir.attributes import IntegerAttr
+from ..ir.core import Block, Operation
+from ..rewrite.pass_manager import FunctionPass
+
+
+def _fuse_block(block: Block) -> int:
+    """Fuse RC runs inside one block; returns the number of removed ops."""
+    removed = 0
+    operations = list(block.operations)
+    index = 0
+    while index < len(operations):
+        op = operations[index]
+        if not isinstance(op, (lp.IncOp, lp.DecOp)):
+            index += 1
+            continue
+        run: List[Operation] = []
+        while index < len(operations) and isinstance(
+            operations[index], (lp.IncOp, lp.DecOp)
+        ):
+            run.append(operations[index])
+            index += 1
+        removed += _fuse_run(run)
+    return removed
+
+
+def _fuse_run(run: List[Operation]) -> int:
+    counts = {id(op): op.count for op in run}
+    # Cancel decs against earlier incs of the same SSA value.
+    for position, op in enumerate(run):
+        if not isinstance(op, lp.DecOp):
+            continue
+        remaining = counts[id(op)]
+        for earlier in run[:position]:
+            if not isinstance(earlier, lp.IncOp):
+                continue
+            if earlier.value is not op.value:
+                continue
+            available = counts[id(earlier)]
+            cancelled = min(available, remaining)
+            if cancelled <= 0:
+                continue
+            counts[id(earlier)] -= cancelled
+            remaining -= cancelled
+            if remaining == 0:
+                break
+        counts[id(op)] = remaining
+    removed = 0
+    survivors: List[Operation] = []
+    for op in run:
+        if counts[id(op)] == 0:
+            op.erase()
+            removed += 1
+            continue
+        survivors.append(op)
+    # Merge adjacent same-kind ops on the same value.
+    merged: List[Operation] = []
+    for op in survivors:
+        if (
+            merged
+            and type(merged[-1]) is type(op)
+            and merged[-1].value is op.value
+        ):
+            keep = merged[-1]
+            counts[id(keep)] += counts[id(op)]
+            op.erase()
+            removed += 1
+        else:
+            merged.append(op)
+    for op in merged:
+        op.attributes["count"] = IntegerAttr(counts[id(op)])
+    return removed
+
+
+class LpRcFusionPass(FunctionPass):
+    """Cancel/merge ``lp.inc``/``lp.dec`` runs in every function."""
+
+    name = "lp-rc-fusion"
+
+    def run_on_function(self, func) -> None:
+        removed = 0
+        for op in list(func.walk()):
+            for region in op.regions:
+                for block in region.blocks:
+                    removed += _fuse_block(block)
+        if removed:
+            self.statistics.bump("rc-ops-removed", removed)
+
+
+def fuse_lp_module(module) -> int:
+    """Convenience entry point: run fusion over a whole module; returns the
+    number of removed RC operations."""
+    pass_ = LpRcFusionPass()
+    pass_.run(module)
+    return pass_.statistics.get("rc-ops-removed")

@@ -2,11 +2,13 @@
 
 A :class:`Pass` transforms a module in place.  :class:`PassManager` runs a
 pipeline of passes, optionally verifying the IR after each one (the default,
-as in MLIR's ``-verify-each``).
+as in MLIR's ``-verify-each``), and records per-pass wall time and rewrite
+counters (MLIR's ``-mlir-pass-statistics``/``-mlir-timing`` analogue).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -25,6 +27,10 @@ class PassStatistics:
 
     def get(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    def total(self) -> int:
+        """Sum of all counters (the pass's total rewrite count)."""
+        return sum(self.counters.values())
 
 
 class Pass:
@@ -61,11 +67,21 @@ class FunctionPass(Pass):
 class PassManager:
     """Runs a sequence of passes over a module."""
 
-    def __init__(self, passes: Optional[Sequence[Pass]] = None, *, verify_each: bool = True):
+    def __init__(
+        self,
+        passes: Optional[Sequence[Pass]] = None,
+        *,
+        verify_each: bool = True,
+        verbose: bool = False,
+    ):
         self.passes: List[Pass] = list(passes or [])
         self.verify_each = verify_each
+        #: Print a per-pass timing/statistics line after each pass runs.
+        self.verbose = verbose
         #: pass name -> statistics, populated by :meth:`run`.
         self.statistics: Dict[str, PassStatistics] = {}
+        #: pass name -> wall time in seconds, populated by :meth:`run`.
+        self.timings: Dict[str, float] = {}
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -73,11 +89,48 @@ class PassManager:
 
     def run(self, module: Operation) -> Operation:
         for pass_ in self.passes:
+            start = time.perf_counter()
             pass_.run(module)
+            elapsed = time.perf_counter() - start
             self.statistics[pass_.name] = pass_.statistics
+            self.timings[pass_.name] = self.timings.get(pass_.name, 0.0) + elapsed
+            if self.verbose:
+                print(self._format_pass_line(pass_, elapsed))
             if self.verify_each:
                 verify(module)
         return module
+
+    @staticmethod
+    def _format_pass_line(pass_: Pass, elapsed: float) -> str:
+        counters = pass_.statistics.counters
+        details = (
+            ", ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+            or "no rewrites"
+        )
+        return f"[pass] {pass_.name:28s} {elapsed * 1e3:8.2f} ms  {details}"
+
+    @property
+    def total_time(self) -> float:
+        """Total wall time spent inside passes (seconds)."""
+        return sum(self.timings.values())
+
+    def total_rewrites(self) -> int:
+        """Total rewrite count across every pass that has run."""
+        return sum(stats.total() for stats in self.statistics.values())
+
+    def report(self) -> str:
+        """Multi-line timing/statistics report for every pass that has run."""
+        lines = ["Pass pipeline statistics", "========================"]
+        for pass_ in self.passes:
+            if pass_.name not in self.timings:
+                continue
+            elapsed = self.timings[pass_.name]
+            lines.append(self._format_pass_line(pass_, elapsed))
+        lines.append(
+            f"total: {self.total_time * 1e3:.2f} ms, "
+            f"{self.total_rewrites()} rewrites across {len(self.timings)} passes"
+        )
+        return "\n".join(lines)
 
     def describe(self) -> str:
         """Textual pipeline description, e.g. ``cse,dce,region-gvn``."""

@@ -18,6 +18,7 @@ from .builtins import (
 )
 from .closures import ApplyOutcome, extend_closure, make_closure
 from .objects import (
+    NULL_TOKEN,
     ArrayObject,
     BigIntObject,
     ClosureObject,
@@ -26,6 +27,7 @@ from .objects import (
     Heap,
     HeapObject,
     HeapStatistics,
+    NullToken,
     RuntimeError_,
     Scalar,
     StringObject,
@@ -45,6 +47,7 @@ __all__ = [
     "ApplyOutcome",
     "extend_closure",
     "make_closure",
+    "NULL_TOKEN",
     "ArrayObject",
     "BigIntObject",
     "ClosureObject",
@@ -53,6 +56,7 @@ __all__ = [
     "Heap",
     "HeapObject",
     "HeapStatistics",
+    "NullToken",
     "RuntimeError_",
     "Scalar",
     "StringObject",

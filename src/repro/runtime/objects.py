@@ -54,6 +54,22 @@ class Enum(Value):
         return f"Enum({self.tag})"
 
 
+class NullToken(Value):
+    """The null reuse token: ``reset`` of a shared (or unboxed) value.
+
+    ``reuse`` through a null token falls back to a fresh allocation.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "NullToken()"
+
+
+#: The singleton null token (tokens carry no state when dead).
+NULL_TOKEN = NullToken()
+
+
 class HeapObject(Value):
     """Base class of reference-counted heap objects."""
 
@@ -160,6 +176,8 @@ class HeapStatistics:
         self.inc_ops = 0
         self.dec_ops = 0
         self.peak_live = 0
+        self.resets = 0
+        self.reuses = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -168,6 +186,8 @@ class HeapStatistics:
             "inc_ops": self.inc_ops,
             "dec_ops": self.dec_ops,
             "peak_live": self.peak_live,
+            "resets": self.resets,
+            "reuses": self.reuses,
         }
 
 
@@ -237,6 +257,49 @@ class Heap:
         for child in obj.children():
             if isinstance(child, HeapObject):
                 self._dec_object(child)
+
+    # -- constructor reuse (reset/reuse tokens) -----------------------------------
+    def reset(self, value: Value) -> Value:
+        """Consume one reference to ``value`` and produce a reuse token.
+
+        A uniquely-owned constructor cell releases its fields and becomes a
+        live token (the cell stays registered and is recycled by
+        :meth:`reuse`); anything else is decremented as a plain ``dec`` and
+        yields the null token.
+        """
+        self.stats.resets += 1
+        if isinstance(value, CtorObject):
+            if value.freed:
+                raise RuntimeError_("reset of a freed object")
+            if value.rc == 1:
+                for child in value.fields:
+                    if isinstance(child, HeapObject):
+                        self._dec_object(child)
+                value.fields = []
+                return value
+        self.dec(value)
+        return NULL_TOKEN
+
+    def reuse(self, token: Value, tag: int, fields: List[Value]) -> Value:
+        """Construct ``tag(fields)`` through a reuse token.
+
+        A live token is overwritten in place — no allocation is performed;
+        the null token falls back to :meth:`alloc_ctor`.
+        """
+        if isinstance(token, CtorObject):
+            if token.freed or token.rc != 1:
+                raise RuntimeError_(f"reuse of an invalid token {token!r}")
+            if not fields:
+                # Field-less constructors are unboxed: discard the cell.
+                self._dec_object(token)
+                return Enum(tag)
+            token.tag = tag
+            token.fields = list(fields)
+            self.stats.reuses += 1
+            return token
+        if not isinstance(token, NullToken):
+            raise RuntimeError_(f"reuse through a non-token value {token!r}")
+        return self.alloc_ctor(tag, fields)
 
     # -- diagnostics ----------------------------------------------------------------
     @property

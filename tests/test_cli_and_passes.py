@@ -1,0 +1,110 @@
+"""Tests for the ``python -m repro`` CLI and pass-manager timing/statistics."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.backend.pipeline import MlirCompiler, PipelineOptions
+from repro.dialects.builtin import ModuleOp
+from repro.rewrite.pass_manager import PassManager
+from repro.transforms.dce import DeadCodeEliminationPass
+
+SOURCE = """
+inductive List where
+| nil
+| cons (head : Nat) (tail : List)
+
+def upto (n : Nat) : List :=
+  if n == 0 then List.nil else List.cons n (upto (n - 1))
+
+def sum (xs : List) : Nat :=
+  match xs with
+  | List.nil => 0
+  | List.cons h t => h + sum t
+
+def main : Nat := sum (upto 10)
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.lean"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_runs_default_pipeline(self, source_file, capsys):
+        assert cli_main([source_file]) == 0
+        out = capsys.readouterr().out
+        assert "result: 55" in out
+
+    @pytest.mark.parametrize(
+        "variant",
+        ("baseline", "simplifier", "rgn", "none", "rc-naive", "rc-opt", "rc-opt+reuse"),
+    )
+    def test_variants_agree(self, source_file, capsys, variant):
+        assert cli_main([source_file, "--variant", variant]) == 0
+        assert "result: 55" in capsys.readouterr().out
+
+    def test_metrics_flag(self, source_file, capsys):
+        assert cli_main([source_file, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "[metrics]" in out and "[heap]" in out and "[rc]" in out
+
+    def test_verbose_prints_pass_lines(self, source_file, capsys):
+        assert cli_main([source_file, "--variant", "rc-opt", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "[pass]" in out
+        assert "[rc_opt] mode=opt" in out
+
+    def test_emit_lp_and_cfg(self, source_file, capsys):
+        assert cli_main([source_file, "--emit", "lp"]) == 0
+        assert "lp.construct" in capsys.readouterr().out
+        assert cli_main([source_file, "--emit", "cfg"]) == 0
+        assert "func.func" in capsys.readouterr().out
+
+    def test_emit_c_requires_baseline(self, source_file, capsys):
+        assert cli_main([source_file, "--emit", "c"]) == 2
+        assert cli_main([source_file, "--variant", "baseline", "--emit", "c"]) == 0
+        assert "lean_object*" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert cli_main(["/nonexistent/path.lean"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stdin_input(self, source_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
+        assert cli_main(["-"]) == 0
+        assert "result: 55" in capsys.readouterr().out
+
+
+class TestPassTiming:
+    def test_timings_and_statistics_populated(self):
+        artifacts = MlirCompiler(PipelineOptions()).compile(SOURCE)
+        module = artifacts.lp_module
+        assert isinstance(module, ModuleOp)
+
+        manager = PassManager([DeadCodeEliminationPass()])
+        manager.run(module)
+        assert "dce" in manager.timings
+        assert manager.timings["dce"] >= 0.0
+        assert manager.total_time >= 0.0
+        assert manager.total_rewrites() >= 0
+
+    def test_report_contains_every_ran_pass(self):
+        artifacts = MlirCompiler(PipelineOptions()).compile(SOURCE)
+        manager = PassManager([DeadCodeEliminationPass()])
+        manager.run(artifacts.lp_module)
+        report = manager.report()
+        assert "Pass pipeline statistics" in report
+        assert "dce" in report
+        assert "total:" in report
+
+    def test_verbose_prints_per_pass_lines(self, capsys):
+        artifacts = MlirCompiler(PipelineOptions()).compile(SOURCE)
+        manager = PassManager([DeadCodeEliminationPass()], verbose=True)
+        manager.run(artifacts.lp_module)
+        out = capsys.readouterr().out
+        assert "[pass] dce" in out
