@@ -1,0 +1,120 @@
+"""Compile-time guard: the worklist rewrite engine vs the rescan baseline.
+
+Asserts the acceptance criteria of the worklist-driver work:
+
+* differential — on the full benchmark suite both engines reach the exact
+  same final IR,
+* efficiency — on the largest benchmark of the compile suite (the
+  ``rewrite-stress`` dead-join-point tower) total pattern match attempts
+  drop at least 3x versus the rescan driver,
+* reporting — ``BENCH_compile.json`` is emitted with per-phase timings.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.compile_bench import (
+    STRESS_BENCHMARK,
+    CompileMeasurement,
+    build_stress_module,
+    differential_rows,
+    emit_json,
+    measure_benchmark,
+    measure_stress,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sizes(request):
+    # Reuse the reduced sizes of the runtime benchmarks (see conftest.py).
+    from conftest import SMALL_SIZES
+
+    return SMALL_SIZES
+
+
+@pytest.fixture(scope="module")
+def rows(small_sizes):
+    return differential_rows(small_sizes)
+
+
+class TestDifferential:
+    def test_every_benchmark_reaches_identical_ir(self, rows):
+        mismatched = [row.benchmark for row in rows if not row.ir_equal]
+        assert not mismatched, (
+            f"worklist and rescan engines disagree on final IR: {mismatched}"
+        )
+
+    def test_suite_is_covered(self, rows, small_sizes):
+        names = {row.benchmark for row in rows}
+        assert set(small_sizes) <= names
+        assert STRESS_BENCHMARK in names
+
+    def test_match_attempts_reduced_3x_on_largest_benchmark(self, rows):
+        largest = max(rows, key=lambda row: row.initial_op_count)
+        assert largest.worklist_attempts > 0
+        assert largest.attempt_ratio >= 3.0, (
+            f"{largest.benchmark}: rescan={largest.rescan_attempts} "
+            f"worklist={largest.worklist_attempts} "
+            f"ratio={largest.attempt_ratio:.2f} < 3.0"
+        )
+
+    def test_no_benchmark_regresses_attempts(self, rows):
+        # The worklist engine must never do *more* matching work (small
+        # notification-driven deltas aside) than a full rescan fixpoint.
+        for row in rows:
+            assert row.worklist_attempts <= row.rescan_attempts * 1.05, (
+                f"{row.benchmark}: worklist={row.worklist_attempts} exceeds "
+                f"rescan={row.rescan_attempts}"
+            )
+
+
+class TestStressWorkload:
+    def test_stress_module_shape(self):
+        module = build_stress_module(layers=4, filler=2)
+        ops = [op.name for op in module.walk()]
+        assert ops.count("rgn.val") == 4
+        assert ops.count("rgn.run") == 6  # two runs per level after the first
+
+    def test_rescan_pays_one_sweep_per_level(self):
+        worklist = measure_stress("worklist", layers=8, filler=4)
+        rescan = measure_stress("rescan", layers=8, filler=4)
+        assert worklist.ir_text == rescan.ir_text
+        assert worklist.driver_iterations == 1
+        # Dead levels cascade strictly backwards: the rescan driver needs
+        # roughly one full sweep per level (plus the final clean sweep).
+        assert rescan.driver_iterations >= 8
+
+    def test_worklist_requeues_are_deduplicated(self):
+        # Satellite regression: one application may touch the same op many
+        # times; the membership set must keep match attempts linear-ish.
+        small = measure_stress("worklist", layers=4, filler=4)
+        large = measure_stress("worklist", layers=8, filler=4)
+        assert large.match_attempts < 4 * small.match_attempts
+
+
+class TestBenchJson:
+    def test_emit_bench_compile_json(self, tmp_path, small_sizes):
+        path = tmp_path / "BENCH_compile.json"
+        payload = emit_json(str(path), small_sizes)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == "repro/compile-bench/v1"
+        assert set(on_disk["engines"]) == {"worklist", "rescan"}
+        names = {entry["benchmark"] for entry in on_disk["benchmarks"]}
+        assert set(small_sizes) <= names and STRESS_BENCHMARK in names
+        for entry in on_disk["benchmarks"]:
+            assert entry["total_seconds"] > 0
+            assert entry["phase_seconds"], entry["benchmark"]
+            assert entry["match_attempts"] >= 0
+            assert entry["initial_op_count"] > 0
+        assert payload["totals"]["worklist"]["match_attempts"] > 0
+
+    def test_phase_timings_cover_pipeline(self, small_sizes):
+        name = next(iter(small_sizes))
+        from repro.eval.benchmarks import benchmark_sources
+
+        source = benchmark_sources(small_sizes)[name]
+        measurement: CompileMeasurement = measure_benchmark(name, source)
+        for phase in ("frontend", "rc-insert", "lp-to-rgn", "rgn-opt", "rgn-to-cf"):
+            assert phase in measurement.phase_seconds, phase
+        assert sum(measurement.phase_seconds.values()) <= measurement.total_seconds

@@ -25,6 +25,8 @@ runs between RC insertion and backend lowering):
 from __future__ import annotations
 
 import copy
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -72,6 +74,10 @@ class PipelineOptions:
     #: RC optimisation level applied between RC insertion and lowering
     #: ("naive", "opt" or "opt+reuse"; see :mod:`repro.rc_opt`).
     rc_mode: str = "naive"
+    #: Pattern-rewrite fixpoint engine: "worklist" (incremental, the
+    #: default) or "rescan" (the quadratic seed driver, kept for the
+    #: compile-time differential benchmarks).
+    rewrite_engine: str = "worklist"
     #: Verify the IR after every pass (slower; on by default in tests).
     verify_each: bool = True
     #: Print per-pass wall time and rewrite counters while compiling.
@@ -107,6 +113,14 @@ class CompilationArtifacts:
     c_source: Optional[str] = None
     pass_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
     rc_report: Optional[RcOptReport] = None
+    #: Wall time per compilation phase in seconds (frontend, simplify,
+    #: rc-insert, lp-codegen, lp-fusion, lp-to-rgn, rgn-opt, rgn-to-cf /
+    #: c-emit), populated by the compilers for :mod:`repro.eval.compile_bench`.
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+    #: Module op counts sampled at pipeline points ("lp" after codegen,
+    #: "rgn" entering the rgn optimisations).  The lowerings mutate the
+    #: module in place, so these cannot be recomputed afterwards.
+    module_op_counts: Dict[str, int] = field(default_factory=dict)
 
 
 class Frontend:
@@ -119,19 +133,30 @@ class Frontend:
         return lower_program(surface, env)
 
 
+@contextmanager
+def _phase(timings: Dict[str, float], name: str):
+    """Accumulate the wall time of one compilation phase into ``timings``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings[name] = timings.get(name, 0.0) + (time.perf_counter() - start)
+
+
 def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
     """The rgn optimisation pass pipeline of the new backend (§IV-B)."""
+    engine = options.rewrite_engine
     passes = []
     if options.enable_constant_fold:
-        passes.append(ConstantFoldPass())
+        passes.append(ConstantFoldPass(engine=engine))
     if options.enable_cse:
         passes.append(CSEPass())
     if options.enable_region_gvn:
         passes.append(RegionGVNPass())
     if options.enable_common_branch_elimination:
-        passes.append(CommonBranchEliminationPass())
+        passes.append(CommonBranchEliminationPass(engine=engine))
     if options.enable_case_elimination:
-        passes.append(CaseEliminationPass())
+        passes.append(CaseEliminationPass(engine=engine))
     if options.enable_dead_region_elimination:
         passes.append(DeadRegionEliminationPass())
     passes.append(DeadCodeEliminationPass())
@@ -149,17 +174,26 @@ class BaselineCompiler:
         self.rc_mode = rc_mode
 
     def compile(self, source: str) -> CompilationArtifacts:
-        pure = Frontend.to_pure(source)
-        optimized = (
-            simplify_program(copy.deepcopy(pure)) if self.enable_simplifier else pure
-        )
-        rc, rc_report = insert_optimized_rc(optimized, self.rc_mode)
+        timings: Dict[str, float] = {}
+        with _phase(timings, "frontend"):
+            pure = Frontend.to_pure(source)
+        with _phase(timings, "simplify"):
+            optimized = (
+                simplify_program(copy.deepcopy(pure))
+                if self.enable_simplifier
+                else pure
+            )
+        with _phase(timings, "rc-insert"):
+            rc, rc_report = insert_optimized_rc(optimized, self.rc_mode)
+        with _phase(timings, "c-emit"):
+            c_source = emit_c_source(rc)
         return CompilationArtifacts(
             surface_source=source,
             pure_program=pure,
             rc_program=rc,
-            c_source=emit_c_source(rc),
+            c_source=c_source,
             rc_report=rc_report,
+            phase_timings=timings,
         )
 
     def run(self, source: str, *, check_heap: bool = True) -> RunResult:
@@ -175,43 +209,55 @@ class MlirCompiler:
 
     def compile(self, source: str) -> CompilationArtifacts:
         options = self.options
-        pure = Frontend.to_pure(source)
-        staged = copy.deepcopy(pure)
-        if options.run_lambda_simplifier:
-            staged = simplify_program(
-                staged, enable_simp_case=options.enable_simp_case
-            )
-        rc, rc_report = insert_optimized_rc(staged, options.rc_mode)
-        lp_module = generate_lp_module(rc)
+        timings: Dict[str, float] = {}
+        with _phase(timings, "frontend"):
+            pure = Frontend.to_pure(source)
+        with _phase(timings, "simplify"):
+            staged = copy.deepcopy(pure)
+            if options.run_lambda_simplifier:
+                staged = simplify_program(
+                    staged, enable_simp_case=options.enable_simp_case
+                )
+        with _phase(timings, "rc-insert"):
+            rc, rc_report = insert_optimized_rc(staged, options.rc_mode)
+        with _phase(timings, "lp-codegen"):
+            lp_module = generate_lp_module(rc)
         artifacts = CompilationArtifacts(
             surface_source=source,
             pure_program=pure,
             rc_program=rc,
             lp_module=lp_module,
             rc_report=rc_report,
+            phase_timings=timings,
         )
+        artifacts.module_op_counts["lp"] = sum(1 for _ in lp_module.walk()) - 1
         if options.rc_mode != "naive":
             # The SSA twin of dup/drop fusion: catches pairs exposed by
             # lowering λrc trees into lp blocks.
-            lp_fusion = PassManager(
-                [LpRcFusionPass()],
-                verify_each=options.verify_each,
-                verbose=options.verbose_passes,
-            )
-            lp_fusion.run(lp_module)
+            with _phase(timings, "lp-fusion"):
+                lp_fusion = PassManager(
+                    [LpRcFusionPass()],
+                    verify_each=options.verify_each,
+                    verbose=options.verbose_passes,
+                )
+                lp_fusion.run(lp_module)
             artifacts.pass_statistics.update(
                 (name, stats.counters)
                 for name, stats in lp_fusion.statistics.items()
             )
-        cfg_module = lower_lp_to_rgn(lp_module)
+        with _phase(timings, "lp-to-rgn"):
+            cfg_module = lower_lp_to_rgn(lp_module)
+        artifacts.module_op_counts["rgn"] = sum(1 for _ in cfg_module.walk()) - 1
         if options.run_rgn_optimizations:
-            pipeline = rgn_optimization_pipeline(options)
-            pipeline.run(cfg_module)
+            with _phase(timings, "rgn-opt"):
+                pipeline = rgn_optimization_pipeline(options)
+                pipeline.run(cfg_module)
             artifacts.pass_statistics.update(
                 (name, stats.counters)
                 for name, stats in pipeline.statistics.items()
             )
-        cfg_module = lower_rgn_to_cf(cfg_module)
+        with _phase(timings, "rgn-to-cf"):
+            cfg_module = lower_rgn_to_cf(cfg_module)
         artifacts.cfg_module = cfg_module
         return artifacts
 

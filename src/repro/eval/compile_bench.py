@@ -1,0 +1,406 @@
+"""Compile-time benchmarking: how fast does the compiler itself run?
+
+The paper's evaluation (Figures 9/10) measures the *runtime* of compiled
+programs; the ROADMAP's north star also demands the compiler run as fast as
+the hardware allows.  This module makes compiler speed a first-class,
+regression-guarded quantity:
+
+* per-phase wall time (frontend / simplify / rc-insert / lp-codegen /
+  lp-fusion / lp-to-rgn / rgn-opt / rgn-to-cf) for every benchmark of the
+  suite, as recorded by :class:`~repro.backend.pipeline.MlirCompiler`,
+* rewrite-driver work counters (pattern match attempts, applications,
+  worklist pushes) surfaced through the pass manager,
+* a differential check that the worklist engine reaches the exact same
+  final IR as the rescan baseline, with far fewer match attempts,
+* a ``rewrite-stress`` entry — a tower of transitively dead join points
+  (nested ``rgn.val``\\ s, each run twice from the next level's body) that is
+  the suite's largest module and the worst case for the rescan driver: every
+  nesting level costs it one full extra sweep.
+
+Usage::
+
+    python -m repro.eval.compile_bench                  # text report
+    python -m repro.eval.compile_bench --json BENCH_compile.json
+    python -m repro.eval.compile_bench --differential   # engine comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..backend.pipeline import MlirCompiler, PipelineOptions
+from ..dialects import lp, rgn
+from ..dialects.builtin import ModuleOp
+from ..dialects.func import FuncOp
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.printer import print_module
+from ..ir.types import FunctionType, i1
+from ..rewrite import GreedyRewriteResult, apply_patterns_greedily
+from ..transforms.canonicalize import canonicalization_patterns
+from .benchmarks import DEFAULT_SIZES, benchmark_sources
+
+#: Compilation phases reported per benchmark (in pipeline order).
+PHASES = (
+    "frontend",
+    "simplify",
+    "rc-insert",
+    "lp-codegen",
+    "lp-fusion",
+    "lp-to-rgn",
+    "rgn-opt",
+    "rgn-to-cf",
+)
+
+#: Name of the synthetic rewrite-engine stress entry.
+STRESS_BENCHMARK = "rewrite-stress"
+
+#: Default size of the stress tower: ``layers`` nested join points with
+#: ``filler`` payload ops each — sized to be the suite's largest module
+#: (bigger than rbmap_checkpoint's ~560-op rgn module).
+STRESS_LAYERS = 24
+STRESS_FILLER = 30
+
+
+@dataclass
+class CompileMeasurement:
+    """One (benchmark, engine) compile-time measurement."""
+
+    benchmark: str
+    engine: str
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    #: Module size entering the rewrite-heavy part of the pipeline — the
+    #: benchmark's "size" for compile-work purposes.
+    initial_op_count: int = 0
+    #: Op count of the final module after the full pipeline ran.
+    final_op_count: int = 0
+    match_attempts: int = 0
+    applications: int = 0
+    worklist_pushes: int = 0
+    driver_iterations: int = 0
+    #: Printed final IR, used by the differential check (not serialised).
+    ir_text: str = ""
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "engine": self.engine,
+            "phase_seconds": {
+                phase: self.phase_seconds[phase]
+                for phase in PHASES
+                if phase in self.phase_seconds
+            },
+            "total_seconds": self.total_seconds,
+            "initial_op_count": self.initial_op_count,
+            "final_op_count": self.final_op_count,
+            "match_attempts": self.match_attempts,
+            "applications": self.applications,
+            "worklist_pushes": self.worklist_pushes,
+        }
+
+
+def build_stress_module(
+    layers: int = STRESS_LAYERS, filler: int = STRESS_FILLER
+) -> ModuleOp:
+    """A tower of transitively dead join points.
+
+    Each level is a ``rgn.val`` whose body runs the previous level's region
+    from *two* sites (so the inliner's single-use gate never fires) plus
+    ``filler`` payload ops; the topmost value is unused.  Dead region
+    elimination must therefore cascade strictly backwards — erasing level
+    ``i`` is what makes level ``i-1`` dead — which the worklist engine
+    discovers through erase notifications in a single drain while the rescan
+    engine pays one full module sweep per level.
+    """
+    module = ModuleOp()
+    func = FuncOp("stress", FunctionType([i1], []))
+    module.append(func)
+    builder = Builder(InsertionPoint.at_end(func.entry_block))
+    previous = None
+    for _ in range(layers):
+        val = builder.create(rgn.ValOp)
+        inner = Builder(InsertionPoint.at_end(val.body_block))
+        for payload in range(filler):
+            inner.create(lp.IntOp, payload)
+        if previous is not None:
+            inner.create(rgn.RunOp, previous.result())
+            inner.create(rgn.RunOp, previous.result())
+        previous = val
+    return module
+
+
+def measure_stress(
+    engine: str,
+    *,
+    layers: int = STRESS_LAYERS,
+    filler: int = STRESS_FILLER,
+) -> CompileMeasurement:
+    """Canonicalise the stress module with ``engine`` and record driver work."""
+    import time
+
+    module = build_stress_module(layers, filler)
+    func = next(op for op in module.walk() if isinstance(op, FuncOp))
+    initial_ops = sum(1 for _ in module.walk())
+    start = time.perf_counter()
+    result: GreedyRewriteResult = apply_patterns_greedily(
+        func,
+        canonicalization_patterns(),
+        engine=engine,
+        max_iterations=max(64, 4 * layers),
+    )
+    elapsed = time.perf_counter() - start
+    return CompileMeasurement(
+        benchmark=STRESS_BENCHMARK,
+        engine=engine,
+        phase_seconds={"rgn-opt": elapsed},
+        total_seconds=elapsed,
+        initial_op_count=initial_ops,
+        final_op_count=sum(1 for _ in module.walk()),
+        match_attempts=result.match_attempts,
+        applications=result.applications,
+        worklist_pushes=result.worklist_pushes,
+        driver_iterations=result.iterations,
+        ir_text=print_module(module),
+    )
+
+
+def measure_benchmark(
+    name: str,
+    source: str,
+    *,
+    engine: str = "worklist",
+    variant: str = "rgn",
+) -> CompileMeasurement:
+    """Compile one benchmark and record phase timings plus driver work.
+
+    The default variant is ``rgn`` (λpure simplifier off, rgn optimisations
+    on) — the configuration where the rewrite engine does the most work.
+    """
+    import time
+
+    options = (
+        PipelineOptions() if variant == "default" else PipelineOptions.variant(variant)
+    )
+    options.verify_each = False
+    options.rewrite_engine = engine
+    start = time.perf_counter()
+    artifacts = MlirCompiler(options).compile(source)
+    total = time.perf_counter() - start
+
+    def counter_total(key: str) -> int:
+        return sum(
+            counters.get(key, 0) for counters in artifacts.pass_statistics.values()
+        )
+
+    return CompileMeasurement(
+        benchmark=name,
+        engine=engine,
+        phase_seconds=dict(artifacts.phase_timings),
+        total_seconds=total,
+        # The rgn module is what the rewrite engine processes; its size is
+        # what pattern-matching work scales with.
+        initial_op_count=artifacts.module_op_counts.get("rgn", 0),
+        final_op_count=sum(1 for _ in artifacts.cfg_module.walk()) - 1,
+        match_attempts=counter_total("match-attempts"),
+        applications=counter_total("applications"),
+        worklist_pushes=counter_total("worklist-pushes"),
+        ir_text=print_module(artifacts.cfg_module),
+    )
+
+
+def run_suite(
+    sizes: Optional[Dict[str, Dict[str, int]]] = None,
+    *,
+    engines: tuple = ("worklist",),
+    variant: str = "rgn",
+    include_stress: bool = True,
+) -> List[CompileMeasurement]:
+    """Measure every benchmark (plus the stress module) per engine."""
+    sources = benchmark_sources(sizes or DEFAULT_SIZES)
+    measurements: List[CompileMeasurement] = []
+    for engine in engines:
+        for name, source in sources.items():
+            measurements.append(
+                measure_benchmark(name, source, engine=engine, variant=variant)
+            )
+        if include_stress:
+            measurements.append(measure_stress(engine))
+    return measurements
+
+
+@dataclass
+class DifferentialRow:
+    """Worklist-vs-rescan comparison for one benchmark."""
+
+    benchmark: str
+    ir_equal: bool
+    worklist_attempts: int
+    rescan_attempts: int
+    #: Size of the module the rewrite engine processed (pre-optimisation).
+    initial_op_count: int
+
+    @property
+    def attempt_ratio(self) -> float:
+        if self.worklist_attempts == 0:
+            return float("inf") if self.rescan_attempts else 1.0
+        return self.rescan_attempts / self.worklist_attempts
+
+
+def rows_from_measurements(
+    measurements: List[CompileMeasurement],
+) -> List[DifferentialRow]:
+    """Pair up worklist/rescan measurements into differential rows."""
+    by_benchmark: Dict[str, Dict[str, CompileMeasurement]] = {}
+    for m in measurements:
+        by_benchmark.setdefault(m.benchmark, {})[m.engine] = m
+    rows = []
+    for name, engines in by_benchmark.items():
+        worklist, rescan = engines["worklist"], engines["rescan"]
+        rows.append(
+            DifferentialRow(
+                benchmark=name,
+                ir_equal=worklist.ir_text == rescan.ir_text,
+                worklist_attempts=worklist.match_attempts,
+                rescan_attempts=rescan.match_attempts,
+                initial_op_count=max(
+                    worklist.initial_op_count, rescan.initial_op_count
+                ),
+            )
+        )
+    return rows
+
+
+def differential_rows(
+    sizes: Optional[Dict[str, Dict[str, int]]] = None,
+    *,
+    variant: str = "rgn",
+) -> List[DifferentialRow]:
+    """Compile the suite with both engines and compare IR and driver work."""
+    return rows_from_measurements(
+        run_suite(sizes, engines=("worklist", "rescan"), variant=variant)
+    )
+
+
+def bench_payload(
+    measurements: List[CompileMeasurement],
+    *,
+    variant: str = "rgn",
+) -> Dict[str, object]:
+    """The JSON document written to ``BENCH_compile.json``."""
+    return {
+        "schema": "repro/compile-bench/v1",
+        "variant": variant,
+        "phases": list(PHASES),
+        "engines": sorted({m.engine for m in measurements}),
+        "benchmarks": [m.as_json() for m in measurements],
+        "totals": {
+            engine: {
+                "total_seconds": sum(
+                    m.total_seconds for m in measurements if m.engine == engine
+                ),
+                "match_attempts": sum(
+                    m.match_attempts for m in measurements if m.engine == engine
+                ),
+                "applications": sum(
+                    m.applications for m in measurements if m.engine == engine
+                ),
+            }
+            for engine in sorted({m.engine for m in measurements})
+        },
+    }
+
+
+def emit_json(
+    path: str,
+    sizes: Optional[Dict[str, Dict[str, int]]] = None,
+    *,
+    engines: tuple = ("worklist", "rescan"),
+    variant: str = "rgn",
+) -> Dict[str, object]:
+    """Measure the suite and write ``BENCH_compile.json`` to ``path``."""
+    measurements = run_suite(sizes, engines=engines, variant=variant)
+    payload = bench_payload(measurements, variant=variant)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+def compile_report(
+    sizes: Optional[Dict[str, Dict[str, int]]] = None,
+    *,
+    variant: str = "rgn",
+) -> str:
+    """Text report: per-phase timings plus the engine differential."""
+    measurements = run_suite(sizes, engines=("worklist", "rescan"), variant=variant)
+    rows = rows_from_measurements(measurements)
+    worklist_by_name = {
+        m.benchmark: m for m in measurements if m.engine == "worklist"
+    }
+    title = "Compile time: per-phase wall time and rewrite-engine work"
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'benchmark':18s} {'ops':>5s} {'total ms':>9s} {'rgn-opt ms':>11s}"
+        f" {'attempts':>9s} {'rescan':>9s} {'ratio':>6s} {'ir':>3s}"
+    )
+    lines.append(header)
+    for row in rows:
+        m = worklist_by_name[row.benchmark]
+        rgn_opt_ms = m.phase_seconds.get("rgn-opt", 0.0) * 1e3
+        lines.append(
+            f"{row.benchmark:18s} {row.initial_op_count:5d}"
+            f" {m.total_seconds * 1e3:9.2f} {rgn_opt_ms:11.2f}"
+            f" {row.worklist_attempts:9d} {row.rescan_attempts:9d}"
+            f" {row.attempt_ratio:6.2f} {'ok' if row.ir_equal else 'DIFF':>4s}"
+        )
+    total_wl = sum(r.worklist_attempts for r in rows)
+    total_rs = sum(r.rescan_attempts for r in rows)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':18s} {'':5s} {'':9s} {'':11s} {total_wl:9d} {total_rs:9d}"
+        f" {total_rs / total_wl if total_wl else 1.0:6.2f}"
+    )
+    lines.append(
+        "phases: " + ", ".join(PHASES) + f" (variant={variant}, sizes=default)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write BENCH_compile.json-style output to PATH",
+    )
+    parser.add_argument(
+        "--variant", default="rgn",
+        help="pipeline variant to compile with (default: rgn)",
+    )
+    parser.add_argument(
+        "--differential", action="store_true",
+        help="print only the worklist-vs-rescan differential",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json:
+        payload = emit_json(args.json, variant=args.variant)
+        suites = len(payload["benchmarks"])
+        print(f"wrote {args.json} ({suites} measurements)")
+        return 0
+    if args.differential:
+        for row in differential_rows(variant=args.variant):
+            print(
+                f"{row.benchmark:18s} worklist={row.worklist_attempts:6d} "
+                f"rescan={row.rescan_attempts:6d} ratio={row.attempt_ratio:5.2f} "
+                f"ir_equal={row.ir_equal}"
+            )
+        return 0
+    print(compile_report(variant=args.variant))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Usage::
     python -m repro.eval.figures --figure 10
     python -m repro.eval.figures --figure 11
     python -m repro.eval.figures --figure rc
+    python -m repro.eval.figures --figure compile
     python -m repro.eval.figures --all
 
 Each report prints the same rows/series as the paper's figure; absolute
@@ -180,6 +181,14 @@ def rc_report(harness: Optional[EvaluationHarness] = None) -> str:
     return "\n".join(lines)
 
 
+def compile_time_report() -> str:
+    """Compile-time report: per-phase timings and the rewrite-engine
+    differential (see :mod:`repro.eval.compile_bench`)."""
+    from .compile_bench import compile_report
+
+    return compile_report()
+
+
 def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
     harness = harness or EvaluationHarness()
     report = harness.verify_correctness()
@@ -193,7 +202,9 @@ def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--figure", choices=["9", "10", "11", "rc"], default=None)
+    parser.add_argument(
+        "--figure", choices=["9", "10", "11", "rc", "compile"], default=None
+    )
     parser.add_argument("--all", action="store_true", help="print every figure")
     parser.add_argument(
         "--correctness", action="store_true", help="print the correctness report"
@@ -218,6 +229,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         printed = True
     if args.all or args.figure == "rc":
         print(rc_report(harness))
+        printed = True
+    if args.all or args.figure == "compile":
+        print(compile_time_report())
         printed = True
     if not printed:
         parser.print_help()

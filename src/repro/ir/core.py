@@ -165,6 +165,10 @@ class Operation:
         self.regions: List[Region] = []
         self.successors: List[Block] = list(successors)
         self.parent: Optional[Block] = None
+        #: Set (permanently) by :meth:`erase` and by bulk region teardown so
+        #: that worklist-style drivers can discard stale queue entries in O(1)
+        #: instead of chasing the ancestor chain.
+        self.erased: bool = False
 
         for value in operands:
             self._append_operand(value)
@@ -264,6 +268,17 @@ class Operation:
         self.attributes.pop(name, None)
 
     # -- structure ---------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """True while this operation sits in a block and has not been erased.
+
+        This is the O(1) replacement for walking the ancestor chain: erasure
+        marks the whole nested subtree via :meth:`erase` /
+        :meth:`Block.drop_all_ops`, and plain :meth:`detach` (a transient
+        state during moves) clears ``parent``.
+        """
+        return self.parent is not None and not self.erased
+
     def parent_op(self) -> Optional["Operation"]:
         if self.parent is not None and self.parent.parent is not None:
             return self.parent.parent.parent
@@ -320,6 +335,7 @@ class Operation:
             region.drop_all_ops()
         self.drop_operand_uses()
         self.detach()
+        self.erased = True
 
     # -- cloning -------------------------------------------------------------
     def clone(self, mapper: Optional[IRMapping] = None) -> "Operation":
@@ -356,6 +372,14 @@ class Operation:
             for block in region.blocks:
                 for op in list(block.operations):
                     yield from op.walk()
+
+    def walk_postorder(self) -> Iterator["Operation"]:
+        """Post-order walk: every nested op is yielded before its parent."""
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk_postorder()
+        yield self
 
     # -- verification -----------------------------------------------------------
     def verify_(self) -> None:
@@ -487,6 +511,7 @@ class Block:
                 region.drop_all_ops()
             op.drop_operand_uses()
             op.parent = None
+            op.erased = True
         self.operations = []
 
     def erase(self) -> None:

@@ -1,12 +1,25 @@
 """Pattern rewriting and pass management (the analogue of MLIR's
 ``PatternRewriter`` / greedy rewrite driver / ``PassManager``)."""
 
-from .driver import GreedyRewriteResult, apply_patterns_greedily
+from .driver import (
+    ENGINES,
+    GreedyRewriteResult,
+    NonConvergenceError,
+    PatternRewritePass,
+    PatternSet,
+    Worklist,
+    apply_patterns_greedily,
+)
 from .pass_manager import FunctionPass, ModulePass, Pass, PassManager
 from .pattern import PatternRewriter, RewritePattern
 
 __all__ = [
+    "ENGINES",
     "GreedyRewriteResult",
+    "NonConvergenceError",
+    "PatternRewritePass",
+    "PatternSet",
+    "Worklist",
     "apply_patterns_greedily",
     "FunctionPass",
     "ModulePass",

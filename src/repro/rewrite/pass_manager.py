@@ -18,19 +18,35 @@ from ..ir.verifier import verify
 
 @dataclass
 class PassStatistics:
-    """Named counters a pass may update while running."""
+    """Named counters a pass may update while running.
+
+    Counters come in two flavours: *rewrite* counters (applications,
+    ops-erased, …) that :meth:`total` sums into the pass's rewrite count,
+    and *meters* (match attempts, worklist pushes, ops scanned, …) that
+    measure work done rather than IR changed and are excluded from
+    :meth:`total` — both appear in reports.
+    """
 
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Names of counters that measure work, not rewrites.
+    meters: set = field(default_factory=set)
 
     def bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def bump_meter(self, name: str, amount: int = 1) -> None:
+        self.meters.add(name)
+        self.bump(name, amount)
 
     def get(self, name: str) -> int:
         return self.counters.get(name, 0)
 
     def total(self) -> int:
-        """Sum of all counters (the pass's total rewrite count)."""
-        return sum(self.counters.values())
+        """Sum of the rewrite counters (the pass's total rewrite count)."""
+        return sum(
+            value for name, value in self.counters.items()
+            if name not in self.meters
+        )
 
 
 class Pass:
@@ -38,6 +54,12 @@ class Pass:
 
     #: Human-readable pass name used in pipeline descriptions and reports.
     name: str = "unnamed-pass"
+
+    #: When True, pattern-driver passes raise
+    #: :class:`~repro.rewrite.driver.NonConvergenceError` if the rewrite
+    #: fixpoint is not reached.  :meth:`PassManager.run` syncs this with its
+    #: ``verify_each`` setting before running the pass.
+    strict_convergence: bool = True
 
     def __init__(self):
         self.statistics = PassStatistics()
@@ -89,25 +111,41 @@ class PassManager:
 
     def run(self, module: Operation) -> Operation:
         for pass_ in self.passes:
+            pass_.strict_convergence = self.verify_each
+            before = dict(pass_.statistics.counters)
             start = time.perf_counter()
             pass_.run(module)
             elapsed = time.perf_counter() - start
-            self.statistics[pass_.name] = pass_.statistics
+            # Merge this run's counter *delta* into the per-name statistics.
+            # Assigning ``pass_.statistics`` outright (the old behaviour)
+            # silently clobbered earlier runs whenever the same pass — or two
+            # instances sharing a name — ran twice, pairing cumulative
+            # timings with last-run-only counters.
+            delta = {
+                key: value - before.get(key, 0)
+                for key, value in pass_.statistics.counters.items()
+                if value != before.get(key, 0)
+            }
+            merged = self.statistics.setdefault(pass_.name, PassStatistics())
+            for key, value in delta.items():
+                if key in pass_.statistics.meters:
+                    merged.bump_meter(key, value)
+                else:
+                    merged.bump(key, value)
             self.timings[pass_.name] = self.timings.get(pass_.name, 0.0) + elapsed
             if self.verbose:
-                print(self._format_pass_line(pass_, elapsed))
+                print(self._format_pass_line(pass_.name, elapsed, delta))
             if self.verify_each:
                 verify(module)
         return module
 
     @staticmethod
-    def _format_pass_line(pass_: Pass, elapsed: float) -> str:
-        counters = pass_.statistics.counters
+    def _format_pass_line(name: str, elapsed: float, counters: Dict[str, int]) -> str:
         details = (
             ", ".join(f"{key}={value}" for key, value in sorted(counters.items()))
             or "no rewrites"
         )
-        return f"[pass] {pass_.name:28s} {elapsed * 1e3:8.2f} ms  {details}"
+        return f"[pass] {name:28s} {elapsed * 1e3:8.2f} ms  {details}"
 
     @property
     def total_time(self) -> float:
@@ -119,13 +157,15 @@ class PassManager:
         return sum(stats.total() for stats in self.statistics.values())
 
     def report(self) -> str:
-        """Multi-line timing/statistics report for every pass that has run."""
+        """Multi-line timing/statistics report for every pass that has run.
+
+        Reported counters are the merged per-name totals, so a pass that ran
+        several times shows cumulative time *and* cumulative counters.
+        """
         lines = ["Pass pipeline statistics", "========================"]
-        for pass_ in self.passes:
-            if pass_.name not in self.timings:
-                continue
-            elapsed = self.timings[pass_.name]
-            lines.append(self._format_pass_line(pass_, elapsed))
+        for name, elapsed in self.timings.items():
+            counters = self.statistics.get(name, PassStatistics()).counters
+            lines.append(self._format_pass_line(name, elapsed, counters))
         lines.append(
             f"total: {self.total_time * 1e3:.2f} ms, "
             f"{self.total_rewrites()} rewrites across {len(self.timings)} passes"

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from typing import List
 
-from ..rewrite.driver import apply_patterns_greedily
-from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.driver import PatternRewritePass
 from ..rewrite.pattern import RewritePattern
 from .case_elimination import case_elimination_patterns
 from .common_branch import common_branch_patterns
 from .constant_fold import constant_fold_patterns
 from .dce import eliminate_dead_code
+from .dead_region import dead_region_patterns
 
 
 def canonicalization_patterns() -> List[RewritePattern]:
@@ -25,16 +25,19 @@ def canonicalization_patterns() -> List[RewritePattern]:
         *constant_fold_patterns(),
         *case_elimination_patterns(),
         *common_branch_patterns(),
+        *dead_region_patterns(),
     ]
 
 
-class CanonicalizePass(FunctionPass):
+class CanonicalizePass(PatternRewritePass):
     """Apply every canonicalisation pattern to fixpoint, then run DCE."""
 
     name = "canonicalize"
 
+    def patterns(self) -> List[RewritePattern]:
+        return canonicalization_patterns()
+
     def run_on_function(self, func) -> None:
-        result = apply_patterns_greedily(func, canonicalization_patterns())
+        self.apply(func)
         erased = eliminate_dead_code(func)
-        self.statistics.bump("applications", result.applications)
         self.statistics.bump("ops-erased", erased)

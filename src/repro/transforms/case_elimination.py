@@ -17,8 +17,7 @@ from typing import List
 
 from ..dialects import arith, rgn
 from ..ir.core import IRMapping, Operation
-from ..rewrite.driver import apply_patterns_greedily
-from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.driver import PatternRewritePass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
 
 
@@ -91,13 +90,12 @@ class InlineRunOfKnownRegion(RewritePattern):
         for body_op in body.operations:
             cloned = body_op.clone(mapping)
             insert_block.insert_before(cloned, op)
-            rewriter.touched.append(cloned)
+            rewriter.notify_op_inserted(cloned)
         rewriter.erase_op(op)
         # The rgn.val is now unused; let DCE remove it (or remove it eagerly
         # if it became completely unused).
         if not region_def.results_used():
-            region_def.erase()
-        rewriter.changed = True
+            rewriter.erase_op(region_def)
         return True
 
 
@@ -109,11 +107,10 @@ def case_elimination_patterns() -> List[RewritePattern]:
     ]
 
 
-class CaseEliminationPass(FunctionPass):
+class CaseEliminationPass(PatternRewritePass):
     """Greedily apply the case-elimination patterns."""
 
     name = "case-elimination"
 
-    def run_on_function(self, func) -> None:
-        result = apply_patterns_greedily(func, case_elimination_patterns())
-        self.statistics.bump("applications", result.applications)
+    def patterns(self) -> List[RewritePattern]:
+        return case_elimination_patterns()

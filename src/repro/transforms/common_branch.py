@@ -16,8 +16,7 @@ from typing import List
 
 from ..dialects import arith, rgn
 from ..ir.core import Operation
-from ..rewrite.driver import apply_patterns_greedily
-from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.driver import PatternRewritePass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
 
 
@@ -53,11 +52,10 @@ def common_branch_patterns() -> List[RewritePattern]:
     return [FoldSelectSameOperands(), FoldSwitchSameOperands()]
 
 
-class CommonBranchEliminationPass(FunctionPass):
+class CommonBranchEliminationPass(PatternRewritePass):
     """Greedily apply the common-branch-elimination patterns."""
 
     name = "common-branch-elimination"
 
-    def run_on_function(self, func) -> None:
-        result = apply_patterns_greedily(func, common_branch_patterns())
-        self.statistics.bump("applications", result.applications)
+    def patterns(self) -> List[RewritePattern]:
+        return common_branch_patterns()

@@ -10,9 +10,8 @@ from typing import List
 
 from ..dialects import arith
 from ..ir.core import Operation
-from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.driver import PatternRewritePass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
-from ..rewrite.driver import apply_patterns_greedily
 
 
 def _constant_value(value) -> "int | None":
@@ -101,11 +100,10 @@ def constant_fold_patterns() -> List[RewritePattern]:
     return [FoldBinaryOp(), FoldAddZero(), FoldCmpI()]
 
 
-class ConstantFoldPass(FunctionPass):
+class ConstantFoldPass(PatternRewritePass):
     """Greedily apply the constant-folding patterns."""
 
     name = "constant-fold"
 
-    def run_on_function(self, func) -> None:
-        result = apply_patterns_greedily(func, constant_fold_patterns())
-        self.statistics.bump("applications", result.applications)
+    def patterns(self) -> List[RewritePattern]:
+        return constant_fold_patterns()

@@ -59,7 +59,9 @@ class CSEPass(FunctionPass):
     ) -> int:
         seen: Dict[Tuple, Operation] = {}
         erased = 0
-        for op in list(block.operations):
+        ops = list(block.operations)
+        self.statistics.bump_meter("ops-scanned", len(ops))
+        for op in ops:
             if not op.has_trait(Pure) or op.regions or not op.results:
                 continue
             if op.has_trait(Allocates):

@@ -30,30 +30,39 @@ def eliminate_dead_code(
     ``is_removable`` optionally restricts which dead ops may be removed
     (used by :class:`DeadRegionEliminationPass` to restrict to ``rgn.val``).
     Returns the number of erased operations.
+
+    Like the pattern driver, this is worklist-driven rather than
+    sweep-to-fixpoint: the IR is walked once (users before producers), and
+    erasing an op requeues only the producers of the values it — or anything
+    nested inside it — used, since those are the only ops that can newly
+    become dead.
     """
     erased_total = 0
-    while True:
-        erased_this_round = 0
-        # Walk in reverse so that users are visited (and erased) before
-        # producers within one sweep.
-        for op in reversed(list(root.walk())):
-            if op is root:
-                continue
-            if op.parent is None:
-                continue  # already erased as part of a parent region
-            if not op.has_trait(Pure):
-                continue
-            if not op.results:
-                continue
-            if op.results_used():
-                continue
-            if is_removable is not None and not is_removable(op):
-                continue
-            op.erase()
-            erased_this_round += 1
-        erased_total += erased_this_round
-        if erased_this_round == 0:
-            return erased_total
+    # Seed in pre-order; popping from the end then visits users before the
+    # producers they reference.
+    stack = [op for op in root.walk() if op is not root]
+    while stack:
+        op = stack.pop()
+        if op.erased or op.parent is None:
+            continue
+        if not op.has_trait(Pure) or not op.results or op.results_used():
+            continue
+        if is_removable is not None and not is_removable(op):
+            continue
+        # Erasing releases every use held by the whole nested subtree, so
+        # any producer referenced from inside may become dead.
+        producers = set()
+        for sub in op.walk():
+            for operand in sub.operands:
+                owner = operand.owner_op()
+                if owner is not None:
+                    producers.add(owner)
+        op.erase()
+        erased_total += 1
+        for producer in producers:
+            if not producer.erased:
+                stack.append(producer)
+    return erased_total
 
 
 class DeadCodeEliminationPass(FunctionPass):

@@ -135,6 +135,7 @@ class RegionGVNPass(FunctionPass):
         for op in list(block.operations):
             if not isinstance(op, ValOp):
                 continue
+            self.statistics.bump_meter("regions-scanned")
             fingerprint = region_value_number(op.body_region, numbering)
             if fingerprint is None:
                 continue
