@@ -12,6 +12,7 @@ SMALL_SIZES = {
     "binarytrees-int": {"depth": 5},
     "const_fold": {"depth": 3, "reps": 3},
     "deriv": {"reps": 3},
+    "digits": {"reps": 5, "span": 8},
     "filter": {"length": 30},
     "qsort": {"size": 16},
     "rbmap_checkpoint": {"inserts": 15},

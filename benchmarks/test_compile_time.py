@@ -18,8 +18,10 @@ from repro.eval.compile_bench import (
     STRESS_BENCHMARK,
     CompileMeasurement,
     build_stress_module,
+    compile_report,
     differential_rows,
     emit_json,
+    load_baseline,
     measure_benchmark,
     measure_stress,
 )
@@ -108,6 +110,20 @@ class TestBenchJson:
             assert entry["match_attempts"] >= 0
             assert entry["initial_op_count"] > 0
         assert payload["totals"]["worklist"]["match_attempts"] > 0
+
+    def test_baseline_comparison_report(self, tmp_path, small_sizes):
+        path = tmp_path / "BENCH_compile.json"
+        emit_json(str(path), small_sizes)
+        baseline = load_baseline(str(path))
+        assert set(small_sizes) <= set(baseline)
+        report = compile_report(small_sizes, baseline=baseline)
+        assert "base rgn-opt" in report and "Δ%" in report
+
+    def test_baseline_rejects_unknown_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9", "benchmarks": []}')
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
 
     def test_phase_timings_cover_pipeline(self, small_sizes):
         name = next(iter(small_sizes))

@@ -33,6 +33,7 @@ from .backend.pipeline import (
 from .interp.cfg_interp import CfgInterpreter
 from .interp.rc_interp import RcInterpreter
 from .ir.printer import print_module
+from .rewrite.driver import ENGINES
 
 VARIANTS = ("default", "baseline", *FIGURE10_VARIANTS, *RC_VARIANTS)
 
@@ -96,6 +97,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="RC optimisation level (overrides the level implied by --variant)",
     )
     parser.add_argument(
+        "--rewrite-engine", choices=ENGINES, default=None,
+        help="pattern-rewrite fixpoint engine for the lp+rgn pipeline "
+        "(worklist is the default; rescan is the differential baseline)",
+    )
+    parser.add_argument(
         "--emit", choices=("c", "lp", "cfg"), default=None,
         help="print a compilation artifact instead of running",
     )
@@ -146,6 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             if args.rc_mode is not None:
                 options.rc_mode = args.rc_mode
+            if args.rewrite_engine is not None:
+                options.rewrite_engine = args.rewrite_engine
             options.verbose_passes = args.verbose
             artifacts = MlirCompiler(options).compile(source)
             if args.emit == "c":

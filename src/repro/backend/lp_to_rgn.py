@@ -30,10 +30,9 @@ class LpToRgnError(Exception):
 
 
 def _move_block_contents(source: Block, dest: Block) -> None:
-    """Move all operations of ``source`` to the end of ``dest``."""
-    for op in list(source.operations):
-        op.detach()
-        dest.append(op)
+    """Move all operations of ``source`` to the end of ``dest`` (one O(1)
+    splice per op, no list copies)."""
+    dest.take_ops_from(source)
 
 
 class LpToRgnLowering:
@@ -50,9 +49,9 @@ class LpToRgnLowering:
 
     # -- per-block lowering ---------------------------------------------------------
     def _lower_block(self, block: Block, label_map: Dict[str, Value]) -> None:
-        if not block.operations:
+        terminator = block.last_op
+        if terminator is None:
             return
-        terminator = block.operations[-1]
         if isinstance(terminator, lp.SwitchOp):
             self._lower_switch(block, terminator, label_map)
         elif isinstance(terminator, lp.JoinPointOp):
@@ -126,8 +125,7 @@ class LpToRgnLowering:
         # Inline the pre-jump code after the region definition; it becomes
         # the remainder of the current block.
         pre_block = joinpoint.pre_block
-        pre_ops = list(pre_block.operations)
-        for op in pre_ops:
+        for op in pre_block:
             op.detach()
             block.insert_before(op, joinpoint)
         joinpoint.erase()

@@ -41,12 +41,9 @@ from ..lean.parser import parse_program
 from ..lean.typecheck import check_program
 from ..rc_opt import LpRcFusionPass, RcOptReport, insert_optimized_rc
 from ..rewrite.pass_manager import PassManager
-from ..transforms.case_elimination import CaseEliminationPass
-from ..transforms.common_branch import CommonBranchEliminationPass
-from ..transforms.constant_fold import ConstantFoldPass
+from ..transforms.canonicalize import CanonicalizePass, canonicalization_patterns
 from ..transforms.cse import CSEPass
 from ..transforms.dce import DeadCodeEliminationPass
-from ..transforms.dead_region import DeadRegionEliminationPass
 from ..transforms.region_gvn import RegionGVNPass
 from .c_backend import emit_c_source
 from .lp_codegen import generate_lp_module
@@ -143,22 +140,47 @@ def _phase(timings: Dict[str, float], name: str):
         timings[name] = timings.get(name, 0.0) + (time.perf_counter() - start)
 
 
+def canonicalization_drain_patterns(options: PipelineOptions) -> List:
+    """The unified canonicalisation pattern set for ``options``.
+
+    Each ablation flag removes one pattern family from the drain instead of
+    removing a pipeline stage, so the pipeline shape (and hence the seeding
+    cost) is independent of the ablation configuration.
+    """
+    return canonicalization_patterns(
+        constant_fold=options.enable_constant_fold,
+        case_elimination=options.enable_case_elimination,
+        common_branch=options.enable_common_branch_elimination,
+        dead_region=options.enable_dead_region_elimination,
+    )
+
+
 def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
-    """The rgn optimisation pass pipeline of the new backend (§IV-B)."""
+    """The rgn optimisation pass pipeline of the new backend (§IV-B).
+
+    Local simplification is one *canonicalisation drain* — the union of
+    constant folding, case elimination (incl. case-of-known-constructor),
+    common-branch elimination and dead region elimination — driven to
+    fixpoint by the worklist engine with a single per-function seed, instead
+    of one fixpoint (and one seed) per pattern family.  The drain runs once,
+    after CSE / region GVN, because region GVN is what exposes the
+    identical-operand select/switch folds; GVN itself numbers structurally,
+    so it does not need folding first.  (Deliberate tradeoff of the single
+    seed: constants materialised by the drain are not re-CSE'd — duplicate
+    constants are harmless to the cost model, and the final DCE still drops
+    unused ones.)
+    """
     engine = options.rewrite_engine
+    drain_patterns = canonicalization_drain_patterns(options)
     passes = []
-    if options.enable_constant_fold:
-        passes.append(ConstantFoldPass(engine=engine))
     if options.enable_cse:
         passes.append(CSEPass())
     if options.enable_region_gvn:
         passes.append(RegionGVNPass())
-    if options.enable_common_branch_elimination:
-        passes.append(CommonBranchEliminationPass(engine=engine))
-    if options.enable_case_elimination:
-        passes.append(CaseEliminationPass(engine=engine))
-    if options.enable_dead_region_elimination:
-        passes.append(DeadRegionEliminationPass())
+    if drain_patterns:
+        passes.append(
+            CanonicalizePass(drain_patterns, engine=engine, run_dce=False)
+        )
     passes.append(DeadCodeEliminationPass())
     return PassManager(
         passes, verify_each=options.verify_each, verbose=options.verbose_passes

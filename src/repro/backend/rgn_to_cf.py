@@ -64,17 +64,15 @@ class RgnToCfLowering:
         for arg in body.arguments:
             new_arg = new_block.add_argument(arg.type, arg.name_hint)
             arg.replace_all_uses_with(new_arg)
-        for op in list(body.operations):
-            op.detach()
-            new_block.append(op)
+        new_block.take_ops_from(body)
         self._val_blocks[val_op] = new_block
         return new_block
 
     # -- terminator lowering -----------------------------------------------------------
     def _lower_terminator(self, block: Block) -> None:
-        if not block.operations:
+        terminator = block.last_op
+        if terminator is None:
             return
-        terminator = block.operations[-1]
         if isinstance(terminator, lp.ReturnOp):
             value = terminator.value
             operands = [value] if value is not None else []

@@ -40,7 +40,7 @@ class ModuleOp(Operation):
 
     def symbols(self) -> Iterator[Operation]:
         """Iterate over the operations defining symbols in this module."""
-        for op in self.body.operations:
+        for op in self.body:
             if "sym_name" in op.attributes:
                 yield op
 
@@ -56,7 +56,7 @@ class ModuleOp(Operation):
         """All ``func.func`` operations in the module, in definition order."""
         from .func import FuncOp
 
-        return [op for op in self.body.operations if isinstance(op, FuncOp)]
+        return [op for op in self.body if isinstance(op, FuncOp)]
 
     def verify_(self) -> None:
         if len(self.regions) != 1:

@@ -7,6 +7,9 @@ The LEAN benchmark suite workloads used by Figures 9 and 10:
   build / checksum / deallocate,
 * ``const_fold`` — constant folding over an expression language,
 * ``deriv`` — symbolic differentiation of expression trees,
+* ``digits`` — digit statistics over pair-state iteration (not from the
+  paper's suite; added to exercise Lean's tuple-destructuring desugaring,
+  i.e. case-of-known-constructor, on a realistic numeric workload),
 * ``filter`` — filtering a linked list with a (higher-order) predicate,
 * ``qsort`` — in-place quicksort over LEAN arrays,
 * ``rbmap_checkpoint`` — red-black tree insertion and lookup,
@@ -204,6 +207,47 @@ def main : Nat :=
 """
 
 
+def _digits(reps: int, span: int) -> str:
+    """Digit statistics with Lean-style tuple destructuring.
+
+    Ports the ``let (q, r) := (n / 10, n % 10)`` idiom: mini-LEAN has no
+    tuple-let patterns, so (exactly like Lean's desugaring) the destructuring
+    is a ``match`` on a freshly constructed pair.  That makes this the
+    suite's workload for the case-of-known-constructor canonicalisation:
+    every destructuring site is an ``lp.getlabel`` of a direct
+    ``lp.construct``.
+    """
+    return f"""
+inductive Pair where
+| mk (fst : Nat) (snd : Nat)
+
+def digitStep (fuel : Nat) (n : Nat) (acc : Nat) : Nat :=
+  if fuel == 0 then acc
+  else if n == 0 then acc
+  else match Pair.mk (n / 10) (n % 10) with
+  | Pair.mk q r => digitStep (fuel - 1) q (acc + r)
+
+def digitSum (n : Nat) : Nat := digitStep 32 n 0
+
+def fibSwap (p : Pair) : Pair :=
+  match p with
+  | Pair.mk a b => Pair.mk b ((a + b) % 1000003)
+
+def fibPair (n : Nat) (p : Pair) : Pair :=
+  if n == 0 then p else fibPair (n - 1) (fibSwap p)
+
+def fibDigits (n : Nat) : Nat :=
+  match fibPair n (Pair.mk 0 1) with
+  | Pair.mk a b => digitSum a
+
+def loop (i : Nat) (acc : Nat) : Nat :=
+  if i == 0 then acc
+  else loop (i - 1) (acc + fibDigits (i + {span}) + digitSum (i * 2654435761))
+
+def main : Nat := loop {reps} 0
+"""
+
+
 def _qsort_simple(size: int) -> str:
     """In-place quicksort on LEAN arrays (Lomuto partition)."""
     return f"""
@@ -354,6 +398,7 @@ DEFAULT_SIZES: Dict[str, Dict[str, int]] = {
     "binarytrees-int": {"depth": 6},
     "const_fold": {"depth": 4, "reps": 6},
     "deriv": {"reps": 6},
+    "digits": {"reps": 10, "span": 12},
     "filter": {"length": 60},
     "qsort": {"size": 24},
     "rbmap_checkpoint": {"inserts": 30},
@@ -361,19 +406,27 @@ DEFAULT_SIZES: Dict[str, Dict[str, int]] = {
 }
 
 
+_GENERATORS = {
+    "binarytrees": _binarytrees,
+    "binarytrees-int": _binarytrees_int,
+    "const_fold": _const_fold,
+    "deriv": _deriv,
+    "digits": _digits,
+    "filter": _filter,
+    "qsort": _qsort_simple,
+    "rbmap_checkpoint": _rbmap,
+    "unionfind": _unionfind,
+}
+
+
 def benchmark_sources(sizes: Dict[str, Dict[str, int]] = None) -> Dict[str, str]:
-    """Generate the benchmark source programs at the given (or default) sizes."""
+    """Generate the benchmark source programs at the given (or default) sizes.
+
+    ``sizes`` may name a subset of the suite; only those programs are
+    generated (several test modules pin their own reduced size tables).
+    """
     sizes = sizes or DEFAULT_SIZES
-    return {
-        "binarytrees": _binarytrees(**sizes["binarytrees"]),
-        "binarytrees-int": _binarytrees_int(**sizes["binarytrees-int"]),
-        "const_fold": _const_fold(**sizes["const_fold"]),
-        "deriv": _deriv(**sizes["deriv"]),
-        "filter": _filter(**sizes["filter"]),
-        "qsort": _qsort_simple(**sizes["qsort"]),
-        "rbmap_checkpoint": _rbmap(**sizes["rbmap_checkpoint"]),
-        "unionfind": _unionfind(**sizes["unionfind"]),
-    }
+    return {name: _GENERATORS[name](**params) for name, params in sizes.items()}
 
 
 BENCHMARK_NAMES = tuple(DEFAULT_SIZES.keys())

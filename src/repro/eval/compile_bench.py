@@ -329,12 +329,37 @@ def emit_json(
     return payload
 
 
+def load_baseline(path: str) -> Dict[str, Dict[str, object]]:
+    """Load a previously emitted ``BENCH_compile.json`` as a baseline table.
+
+    Returns worklist-engine entries keyed by benchmark name; raises on a
+    payload with an unknown schema so stale files fail loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != "repro/compile-bench/v1":
+        raise ValueError(f"unsupported BENCH_compile schema {schema!r} in {path}")
+    return {
+        entry["benchmark"]: entry
+        for entry in payload.get("benchmarks", ())
+        if entry.get("engine") == "worklist"
+    }
+
+
 def compile_report(
     sizes: Optional[Dict[str, Dict[str, int]]] = None,
     *,
     variant: str = "rgn",
+    baseline: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> str:
-    """Text report: per-phase timings plus the engine differential."""
+    """Text report: per-phase timings plus the engine differential.
+
+    With ``baseline`` (a table from :func:`load_baseline`), the phase table
+    becomes a before/after comparison: each row shows the baseline run's
+    rgn-opt time and match attempts next to the current ones, so a phase
+    regression or improvement is visible benchmark by benchmark.
+    """
     measurements = run_suite(sizes, engines=("worklist", "rescan"), variant=variant)
     rows = rows_from_measurements(measurements)
     worklist_by_name = {
@@ -346,16 +371,34 @@ def compile_report(
         f"{'benchmark':18s} {'ops':>5s} {'total ms':>9s} {'rgn-opt ms':>11s}"
         f" {'attempts':>9s} {'rescan':>9s} {'ratio':>6s} {'ir':>3s}"
     )
+    if baseline is not None:
+        header += f" {'base rgn-opt':>13s} {'Δ%':>7s} {'base att':>9s}"
     lines.append(header)
     for row in rows:
         m = worklist_by_name[row.benchmark]
         rgn_opt_ms = m.phase_seconds.get("rgn-opt", 0.0) * 1e3
-        lines.append(
+        line = (
             f"{row.benchmark:18s} {row.initial_op_count:5d}"
             f" {m.total_seconds * 1e3:9.2f} {rgn_opt_ms:11.2f}"
             f" {row.worklist_attempts:9d} {row.rescan_attempts:9d}"
             f" {row.attempt_ratio:6.2f} {'ok' if row.ir_equal else 'DIFF':>4s}"
         )
+        if baseline is not None:
+            base = baseline.get(row.benchmark)
+            if base is None:
+                line += f" {'—':>13s} {'—':>7s} {'—':>9s}"
+            else:
+                base_rgn_ms = base.get("phase_seconds", {}).get("rgn-opt", 0.0) * 1e3
+                delta = (
+                    (rgn_opt_ms - base_rgn_ms) / base_rgn_ms * 100.0
+                    if base_rgn_ms
+                    else 0.0
+                )
+                line += (
+                    f" {base_rgn_ms:13.2f} {delta:+6.1f}%"
+                    f" {base.get('match_attempts', 0):9d}"
+                )
+        lines.append(line)
     total_wl = sum(r.worklist_attempts for r in rows)
     total_rs = sum(r.rescan_attempts for r in rows)
     lines.append("-" * len(header))
@@ -383,6 +426,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--differential", action="store_true",
         help="print only the worklist-vs-rescan differential",
     )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare the phase table against a previously written "
+        "BENCH_compile.json (before/after per benchmark)",
+    )
     args = parser.parse_args(argv)
 
     if args.json:
@@ -398,7 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"ir_equal={row.ir_equal}"
             )
         return 0
-    print(compile_report(variant=args.variant))
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    print(compile_report(variant=args.variant, baseline=baseline))
     return 0
 
 

@@ -135,7 +135,7 @@ class CfgInterpreter:
             env.update(env_update)
 
     def _execute_block(self, block: Block, env: Dict[Value, object]):
-        for op in block.operations:
+        for op in block:
             result = self._execute_op(op, env)
             if result is not None:
                 return result

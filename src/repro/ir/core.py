@@ -11,6 +11,29 @@ paper relies on:
   names.
 * :class:`Block`\\ s (sequences of operations with block arguments acting as
   phi nodes) and :class:`Region`\\ s (single-entry lists of blocks).
+
+Block storage is an *intrusive doubly-linked list*, as in MLIR: every
+operation carries ``prev_op``/``next_op`` links and the block holds
+``first_op``/``last_op``.  This makes the mutations on the rewrite driver's
+hot path — :meth:`Block.insert_before`, :meth:`Block.insert_after`,
+:meth:`Operation.detach`, :meth:`Operation.erase` — O(1) splices instead of
+O(block size) list shifts, and lets walks iterate without copying block
+contents.
+
+The linked-list invariants (checked by :meth:`Block.check_invariants`):
+
+* for every op in a block, ``op.parent is block`` and ``op.erased`` is False;
+* ``first_op.prev_op is None`` and ``last_op.next_op is None``;
+* ``a.next_op.prev_op is a`` for every interior link;
+* a detached op has ``parent is prev_op is next_op is None``;
+* an erased op additionally has ``erased`` set (permanently), which is what
+  lets worklist drivers discard stale queue entries in O(1) via
+  :attr:`Operation.attached`.
+
+Ordering queries (``is_before_in_block``, used by dominance on every operand
+check) are O(1) amortised through lazily maintained order keys: insertions
+assign a key midway between the neighbours' keys and fall back to a full
+O(n) renumbering only when the gap is exhausted.
 """
 
 from __future__ import annotations
@@ -19,6 +42,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .attributes import Attribute
 from .types import Type
+
+#: Gap left between consecutive order keys on (re)numbering; insertions in
+#: the middle bisect the gap and only force a renumber after ~log2(stride)
+#: consecutive inserts at the same spot.
+_ORDER_STRIDE = 16
 
 
 class Use:
@@ -144,6 +172,9 @@ class Operation:
     ``TRAITS`` and usually provide a convenience constructor plus named
     accessors.  All structural manipulation happens through the base class so
     that generic passes work on any operation.
+
+    Operations are intrusive list nodes: :attr:`prev_op`/:attr:`next_op` link
+    them into their parent :class:`Block`.  Both are None while detached.
     """
 
     OP_NAME: str = "builtin.unregistered"
@@ -165,6 +196,12 @@ class Operation:
         self.regions: List[Region] = []
         self.successors: List[Block] = list(successors)
         self.parent: Optional[Block] = None
+        #: Intrusive links into the parent block's operation list.
+        self.prev_op: Optional["Operation"] = None
+        self.next_op: Optional["Operation"] = None
+        #: Lazily maintained ordering key within the parent block (see
+        #: :meth:`Block._ensure_order`); meaningless while detached.
+        self._order: int = 0
         #: Set (permanently) by :meth:`erase` and by bulk region teardown so
         #: that worklist-style drivers can discard stale queue entries in O(1)
         #: instead of chasing the ancestor chain.
@@ -299,15 +336,28 @@ class Operation:
         return any(a is self for a in other.ancestors())
 
     def block_index(self) -> int:
-        """Index of this operation inside its parent block."""
+        """Index of this operation inside its parent block (O(index))."""
         if self.parent is None:
             raise ValueError("operation has no parent block")
-        return self.parent.operations.index(self)
+        index = 0
+        current = self.parent.first_op
+        while current is not None:
+            if current is self:
+                return index
+            index += 1
+            current = current.next_op
+        raise ValueError("operation not linked into its parent block")
 
     def is_before_in_block(self, other: "Operation") -> bool:
+        """True if ``self`` precedes ``other`` in their shared block.
+
+        O(1) amortised: compares the lazily maintained block order keys
+        (renumbered only when insertions exhaust the key gap).
+        """
         if self.parent is not other.parent or self.parent is None:
             raise ValueError("operations are not in the same block")
-        return self.block_index() < other.block_index()
+        self.parent._ensure_order()
+        return self._order < other._order
 
     def move_before(self, other: "Operation") -> None:
         self.detach()
@@ -318,10 +368,9 @@ class Operation:
         other.parent.insert_after(self, other)
 
     def detach(self) -> None:
-        """Remove from the parent block without touching uses."""
+        """Remove from the parent block without touching uses (O(1))."""
         if self.parent is not None:
-            self.parent.operations.remove(self)
-            self.parent = None
+            self.parent._unlink(self)
 
     def erase(self, *, allow_uses: bool = False) -> None:
         """Erase this operation (and, recursively, its regions).
@@ -366,19 +415,29 @@ class Operation:
 
     # -- traversal -------------------------------------------------------------
     def walk(self) -> Iterator["Operation"]:
-        """Pre-order walk of this op and every op nested in its regions."""
+        """Pre-order walk of this op and every op nested in its regions.
+
+        Robust against erasure of the op just yielded (the next link is
+        captured before descending), without copying block contents.
+        """
         yield self
         for region in self.regions:
             for block in region.blocks:
-                for op in list(block.operations):
+                op = block.first_op
+                while op is not None:
+                    next_op = op.next_op
                     yield from op.walk()
+                    op = next_op
 
     def walk_postorder(self) -> Iterator["Operation"]:
         """Post-order walk: every nested op is yielded before its parent."""
         for region in self.regions:
             for block in region.blocks:
-                for op in list(block.operations):
+                op = block.first_op
+                while op is not None:
+                    next_op = op.next_op
                     yield from op.walk_postorder()
+                    op = next_op
         yield self
 
     # -- verification -----------------------------------------------------------
@@ -419,12 +478,24 @@ def _build_like(
 
 
 class Block:
-    """A straight-line sequence of operations with block arguments."""
+    """A straight-line sequence of operations with block arguments.
+
+    Operations are stored as an intrusive doubly-linked list rooted at
+    :attr:`first_op`/:attr:`last_op`; see the module docstring for the
+    invariants.  Iterating a block (``for op in block``) captures each next
+    link before yielding, so erasing or detaching the *current* op while
+    iterating is safe.
+    """
 
     def __init__(self, arg_types: Sequence[Type] = ()):
         self.arguments: List[BlockArgument] = []
-        self.operations: List[Operation] = []
         self.parent: Optional[Region] = None
+        self._first_op: Optional[Operation] = None
+        self._last_op: Optional[Operation] = None
+        self._num_ops: int = 0
+        #: False once an insertion exhausted the order-key gap between two
+        #: neighbours; :meth:`_ensure_order` renumbers lazily.
+        self._order_valid: bool = True
         for t in arg_types:
             self.add_argument(t)
 
@@ -443,33 +514,163 @@ class Block:
         for i, a in enumerate(self.arguments):
             a.index = i
 
-    # -- operations ----------------------------------------------------------
-    def append(self, op: Operation) -> Operation:
+    # -- intrusive list plumbing ---------------------------------------------
+    def _link(
+        self,
+        op: Operation,
+        prev: Optional[Operation],
+        next: Optional[Operation],
+    ) -> None:
+        """Splice ``op`` between ``prev`` and ``next`` (either may be None)."""
+        if op.parent is not None:
+            raise ValueError(
+                f"inserting {op.name} which is still attached to a block "
+                "(detach it first)"
+            )
+        if op.erased:
+            raise ValueError(f"inserting erased operation {op.name}")
         op.parent = self
-        self.operations.append(op)
+        op.prev_op = prev
+        op.next_op = next
+        if prev is not None:
+            prev.next_op = op
+        else:
+            self._first_op = op
+        if next is not None:
+            next.prev_op = op
+        else:
+            self._last_op = op
+        self._num_ops += 1
+        # Order-key maintenance: bisect the neighbour gap; renumber lazily
+        # once a gap is exhausted.
+        if prev is None and next is None:
+            op._order = 0
+        elif prev is None:
+            op._order = next._order - _ORDER_STRIDE
+        elif next is None:
+            op._order = prev._order + _ORDER_STRIDE
+        else:
+            op._order = (prev._order + next._order) // 2
+            if op._order == prev._order:
+                self._order_valid = False
+
+    def _unlink(self, op: Operation) -> None:
+        """Remove ``op`` from the list (O(1)); clears its links and parent."""
+        if op.prev_op is not None:
+            op.prev_op.next_op = op.next_op
+        else:
+            self._first_op = op.next_op
+        if op.next_op is not None:
+            op.next_op.prev_op = op.prev_op
+        else:
+            self._last_op = op.prev_op
+        op.prev_op = None
+        op.next_op = None
+        op.parent = None
+        self._num_ops -= 1
+
+    def _ensure_order(self) -> None:
+        """Renumber order keys if an insertion invalidated them (O(n), but
+        amortised away: each renumber buys ~log2 stride local insertions)."""
+        if self._order_valid:
+            return
+        order = 0
+        op = self._first_op
+        while op is not None:
+            op._order = order
+            order += _ORDER_STRIDE
+            op = op.next_op
+        self._order_valid = True
+
+    # -- operations ----------------------------------------------------------
+    @property
+    def first_op(self) -> Optional[Operation]:
+        return self._first_op
+
+    @property
+    def last_op(self) -> Optional[Operation]:
+        return self._last_op
+
+    @property
+    def is_empty(self) -> bool:
+        return self._first_op is None
+
+    def __len__(self) -> int:
+        return self._num_ops
+
+    def __iter__(self) -> Iterator[Operation]:
+        op = self._first_op
+        while op is not None:
+            next_op = op.next_op
+            yield op
+            op = next_op
+
+    def __reversed__(self) -> Iterator[Operation]:
+        op = self._last_op
+        while op is not None:
+            prev_op = op.prev_op
+            yield op
+            op = prev_op
+
+    @property
+    def operations(self) -> List[Operation]:
+        """List snapshot of the block's operations (O(n)).
+
+        Compatibility/debugging surface over the intrusive list; mutations on
+        the returned list do **not** affect the block.  Hot paths should use
+        iteration, :attr:`first_op`/:attr:`last_op` or the O(1) insertion
+        methods instead.
+        """
+        return list(self)
+
+    def append(self, op: Operation) -> Operation:
+        self._link(op, self._last_op, None)
+        return op
+
+    def prepend(self, op: Operation) -> Operation:
+        self._link(op, None, self._first_op)
         return op
 
     def insert(self, index: int, op: Operation) -> Operation:
-        op.parent = self
-        self.operations.insert(index, op)
-        return op
+        """Insert ``op`` at position ``index`` (O(index); compatibility
+        shim — prefer the anchor-based O(1) methods)."""
+        if index >= self._num_ops:
+            return self.append(op)
+        anchor = self._first_op
+        for _ in range(index):
+            anchor = anchor.next_op
+        return self.insert_before(op, anchor)
 
     def insert_before(self, op: Operation, anchor: Operation) -> Operation:
-        return self.insert(self.operations.index(anchor), op)
+        """Insert ``op`` immediately before ``anchor`` (O(1))."""
+        if anchor.parent is not self:
+            raise ValueError("insertion anchor is not in this block")
+        self._link(op, anchor.prev_op, anchor)
+        return op
 
     def insert_after(self, op: Operation, anchor: Operation) -> Operation:
-        return self.insert(self.operations.index(anchor) + 1, op)
+        """Insert ``op`` immediately after ``anchor`` (O(1))."""
+        if anchor.parent is not self:
+            raise ValueError("insertion anchor is not in this block")
+        self._link(op, anchor, anchor.next_op)
+        return op
 
-    @property
-    def first_op(self) -> Optional[Operation]:
-        return self.operations[0] if self.operations else None
+    def take_ops_from(self, source: "Block") -> None:
+        """Move every operation of ``source`` to the end of this block,
+        preserving order (single pass, no list copies)."""
+        op = source._first_op
+        while op is not None:
+            next_op = op.next_op
+            source._unlink(op)
+            self.append(op)
+            op = next_op
 
     @property
     def terminator(self) -> Optional[Operation]:
         from .traits import IsTerminator
 
-        if self.operations and self.operations[-1].has_trait(IsTerminator):
-            return self.operations[-1]
+        if self._last_op is not None and self._last_op.has_trait(IsTerminator):
+            return self._last_op
         return None
 
     def successors(self) -> List["Block"]:
@@ -495,24 +696,34 @@ class Block:
     def split_before(self, op: Operation) -> "Block":
         """Split this block into two: ``op`` and everything after it move to a
         new block appended right after this one in the region."""
-        idx = self.operations.index(op)
+        if op.parent is not self:
+            raise ValueError("split point is not in this block")
         new_block = Block()
         self.parent.insert_block(self.index_in_region() + 1, new_block)
-        moved = self.operations[idx:]
-        self.operations = self.operations[:idx]
-        for m in moved:
-            m.parent = new_block
-            new_block.operations.append(m)
+        current = op
+        while current is not None:
+            next_op = current.next_op
+            self._unlink(current)
+            new_block.append(current)
+            current = next_op
         return new_block
 
     def drop_all_ops(self) -> None:
-        for op in self.operations:
+        op = self._first_op
+        while op is not None:
+            next_op = op.next_op
             for region in op.regions:
                 region.drop_all_ops()
             op.drop_operand_uses()
             op.parent = None
+            op.prev_op = None
+            op.next_op = None
             op.erased = True
-        self.operations = []
+            op = next_op
+        self._first_op = None
+        self._last_op = None
+        self._num_ops = 0
+        self._order_valid = True
 
     def erase(self) -> None:
         """Erase this block and all its operations from the parent region."""
@@ -522,11 +733,50 @@ class Block:
             self.parent = None
 
     def walk(self) -> Iterator[Operation]:
-        for op in list(self.operations):
+        op = self._first_op
+        while op is not None:
+            next_op = op.next_op
             yield from op.walk()
+            op = next_op
+
+    # -- invariant checking -----------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the intrusive-list invariants (used by tests; O(n)).
+
+        Raises ValueError describing the first violated invariant.
+        """
+        count = 0
+        prev: Optional[Operation] = None
+        op = self._first_op
+        if op is not None and op.prev_op is not None:
+            raise ValueError("first_op has a dangling prev_op link")
+        while op is not None:
+            if op.parent is not self:
+                raise ValueError(f"{op.name}: parent does not point at block")
+            if op.erased:
+                raise ValueError(f"{op.name}: erased op is still linked")
+            if op.prev_op is not prev:
+                raise ValueError(f"{op.name}: prev_op link is inconsistent")
+            if prev is not None and prev.next_op is not op:
+                raise ValueError(f"{op.name}: next_op link is inconsistent")
+            count += 1
+            prev = op
+            op = op.next_op
+        if prev is not self._last_op:
+            raise ValueError("last_op does not terminate the chain")
+        if count != self._num_ops:
+            raise ValueError(
+                f"cached op count {self._num_ops} != actual {count}"
+            )
+        if self._order_valid:
+            previous_order: Optional[int] = None
+            for linked in self:
+                if previous_order is not None and linked._order <= previous_order:
+                    raise ValueError("order keys are not strictly increasing")
+                previous_order = linked._order
 
     def __repr__(self):  # pragma: no cover - debugging helper
-        return f"<block with {len(self.operations)} ops>"
+        return f"<block with {self._num_ops} ops>"
 
 
 class Region:
@@ -583,7 +833,7 @@ class Region:
             new_blocks.append(new_block)
         for block, new_block in zip(self.blocks, new_blocks):
             dest.add_block(new_block)
-            for op in block.operations:
+            for op in block:
                 new_block.append(op.clone(mapper))
 
     def take_blocks_from(self, other: "Region") -> None:

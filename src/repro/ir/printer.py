@@ -127,7 +127,7 @@ class Printer:
                 )
                 label += f"({args})"
             lines.append(self._ind(indent - 1) + label + ":")
-            for op in block.operations:
+            for op in block:
                 lines.extend(self._op_lines(op, indent))
         return lines
 

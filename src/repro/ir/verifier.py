@@ -48,8 +48,8 @@ def collect_errors(root: Operation) -> List[str]:
                     f"block, found {len(region.blocks)}"
                 )
             for block in region.blocks:
-                for inner_index, inner in enumerate(block.operations):
-                    is_last = inner_index == len(block.operations) - 1
+                for inner in block:
+                    is_last = inner.next_op is None
                     if inner.has_trait(IsTerminator) and not is_last:
                         errors.append(
                             f"{inner.name}: terminator is not the last "
@@ -62,7 +62,7 @@ def collect_errors(root: Operation) -> List[str]:
                             f"{op.name}: block does not end with a terminator "
                             f"(last op is {inner.name})"
                         )
-                if not block.operations and requires_terminator:
+                if block.is_empty and requires_terminator:
                     errors.append(f"{op.name}: empty block requires a terminator")
 
         # Successors must live in the same region as the terminator.

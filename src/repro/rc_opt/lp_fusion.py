@@ -25,21 +25,22 @@ from ..rewrite.pass_manager import FunctionPass
 
 
 def _fuse_block(block: Block) -> int:
-    """Fuse RC runs inside one block; returns the number of removed ops."""
+    """Fuse RC runs inside one block; returns the number of removed ops.
+
+    Walks the intrusive op list once, collecting each maximal inc/dec run
+    before fusing it — the cursor is already past a run when its members are
+    erased, so no snapshot of the block is needed.
+    """
     removed = 0
-    operations = list(block.operations)
-    index = 0
-    while index < len(operations):
-        op = operations[index]
+    op = block.first_op
+    while op is not None:
         if not isinstance(op, (lp.IncOp, lp.DecOp)):
-            index += 1
+            op = op.next_op
             continue
         run: List[Operation] = []
-        while index < len(operations) and isinstance(
-            operations[index], (lp.IncOp, lp.DecOp)
-        ):
-            run.append(operations[index])
-            index += 1
+        while op is not None and isinstance(op, (lp.IncOp, lp.DecOp)):
+            run.append(op)
+            op = op.next_op
         removed += _fuse_run(run)
     return removed
 

@@ -84,10 +84,14 @@ class PatternSet:
         self._by_name: Dict[str, List[RewritePattern]] = {}
         self._generic: List[RewritePattern] = []
         for p in ordered:
-            if p.op_name is None:
+            names = p.op_names if p.op_names is not None else (
+                frozenset((p.op_name,)) if p.op_name is not None else None
+            )
+            if names is None:
                 self._generic.append(p)
             else:
-                self._by_name.setdefault(p.op_name, []).append(p)
+                for name in names:
+                    self._by_name.setdefault(name, []).append(p)
 
     def candidates(self, op: Operation) -> Iterable[RewritePattern]:
         yield from self._by_name.get(op.name, ())
@@ -353,6 +357,10 @@ class PatternRewritePass(FunctionPass):
         self.statistics.bump("applications", result.applications)
         self.statistics.bump_meter("match-attempts", result.match_attempts)
         self.statistics.bump_meter("worklist-pushes", result.worklist_pushes)
+        # Per-pattern application counts, as meters so the already-counted
+        # "applications" rewrite total is not double-counted.
+        for pattern_name, count in result.per_pattern.items():
+            self.statistics.bump_meter(pattern_name, count)
         return result
 
     def run_on_function(self, func) -> None:

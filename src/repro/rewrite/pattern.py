@@ -154,7 +154,7 @@ class PatternRewriter(Builder):
         """Move all operations of ``block`` (excluding nothing) before
         ``anchor``.  The caller is responsible for remapping block arguments
         beforehand."""
-        for op in list(block.operations):
+        for op in block:
             op.detach()
             anchor.parent.insert_before(op, anchor)
             self.notify_op_inserted(op)
@@ -166,10 +166,16 @@ class RewritePattern:
     Attributes:
         op_name: if set, the driver only tries the pattern on operations with
             this name (a cheap pre-filter).
+        op_names: like ``op_name`` but for patterns rooted at several
+            operation names (e.g. one fold covering all binary arith ops);
+            takes precedence over ``op_name``.  Patterns setting neither are
+            *generic* and tried on every operation — expensive in a large
+            unified pattern drain, so set a root filter whenever possible.
         benefit: patterns with larger benefit are tried first.
     """
 
     op_name: Optional[str] = None
+    op_names: Optional[frozenset] = None
     benefit: int = 1
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:

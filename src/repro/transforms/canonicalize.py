@@ -1,14 +1,23 @@
 """Canonicalisation: the union of all local simplification patterns.
 
-Mirrors MLIR's ``-canonicalize``: constant folding, case elimination and
-common-branch elimination are bundled into one greedy fixpoint, followed by
-dead code elimination.  The individual passes remain available for the
-ablation benchmarks.
+Mirrors MLIR's ``-canonicalize``: constant folding, case elimination (with
+the case-of-known-constructor fold), common-branch elimination and dead
+region elimination are bundled into **one** greedy fixpoint — a single
+pattern *drain* seeded once per function — instead of one fixpoint per
+pattern family.  The rgn optimisation pipeline
+(:func:`repro.backend.pipeline.rgn_optimization_pipeline`) drives this drain
+with the worklist engine, so an op is queued once and every follow-up match
+comes from rewriter notifications rather than a re-seed per pass.
+
+The individual passes (:class:`~repro.transforms.constant_fold.
+ConstantFoldPass` etc.) remain available for targeted use and for the
+ablation benchmarks, which shrink the drain's pattern set instead of
+removing pipeline stages.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 from ..rewrite.driver import PatternRewritePass
 from ..rewrite.pattern import RewritePattern
@@ -19,25 +28,61 @@ from .dce import eliminate_dead_code
 from .dead_region import dead_region_patterns
 
 
-def canonicalization_patterns() -> List[RewritePattern]:
-    """All registered canonicalisation patterns."""
-    return [
-        *constant_fold_patterns(),
-        *case_elimination_patterns(),
-        *common_branch_patterns(),
-        *dead_region_patterns(),
-    ]
+def canonicalization_patterns(
+    *,
+    constant_fold: bool = True,
+    case_elimination: bool = True,
+    common_branch: bool = True,
+    dead_region: bool = True,
+) -> List[RewritePattern]:
+    """The canonicalisation pattern union, per family.
+
+    This is the single source of truth for what "canonicalisation" means;
+    the backend pipeline maps its ablation flags onto the keyword toggles.
+    """
+    patterns: List[RewritePattern] = []
+    if constant_fold:
+        patterns.extend(constant_fold_patterns())
+    if case_elimination:
+        patterns.extend(case_elimination_patterns())
+    if common_branch:
+        patterns.extend(common_branch_patterns())
+    if dead_region:
+        patterns.extend(dead_region_patterns())
+    return patterns
 
 
 class CanonicalizePass(PatternRewritePass):
-    """Apply every canonicalisation pattern to fixpoint, then run DCE."""
+    """Drive the canonicalisation drain to fixpoint, optionally followed by
+    DCE.
+
+    ``patterns`` narrows the drain to a subset (the ablation benchmarks pass
+    the enabled pattern families); by default every registered
+    canonicalisation pattern participates.  ``run_dce`` controls the
+    trailing dead-code sweep — the backend pipeline disables it because it
+    schedules one final DCE pass itself.
+    """
 
     name = "canonicalize"
 
+    def __init__(
+        self,
+        patterns: Optional[Sequence[RewritePattern]] = None,
+        *,
+        engine: Optional[str] = None,
+        run_dce: bool = True,
+    ):
+        super().__init__(engine=engine)
+        self._patterns = list(patterns) if patterns is not None else None
+        self.run_dce = run_dce
+
     def patterns(self) -> List[RewritePattern]:
+        if self._patterns is not None:
+            return list(self._patterns)
         return canonicalization_patterns()
 
     def run_on_function(self, func) -> None:
         self.apply(func)
-        erased = eliminate_dead_code(func)
-        self.statistics.bump("ops-erased", erased)
+        if self.run_dce:
+            erased = eliminate_dead_code(func)
+            self.statistics.bump("ops-erased", erased)

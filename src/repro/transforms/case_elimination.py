@@ -5,6 +5,10 @@ selected branch.  In the rgn encoding, a case statement is a ``select`` /
 ``rgn.switch`` over region values followed by ``rgn.run``; the optimisation
 decomposes into ordinary SSA rewrites:
 
+* ``lp.getlabel`` of a directly constructed value (``lp.construct`` /
+  ``lp.reuse``) folds to the constructor's tag constant — the
+  *case-of-known-constructor* entry point that turns a match on a freshly
+  built value into the constant dispatch the following patterns consume,
 * ``arith.select`` with a constant condition folds to one of its operands,
 * ``rgn.switch`` with a constant flag folds to the matching case region,
 * ``rgn.run`` of a single-use, directly-known ``rgn.val`` is replaced by the
@@ -15,7 +19,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..dialects import arith, rgn
+from ..dialects import arith, lp, rgn
 from ..ir.core import IRMapping, Operation
 from ..rewrite.driver import PatternRewritePass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
@@ -26,6 +30,31 @@ def _constant_value(value) -> "int | None":
     if isinstance(op, arith.ConstantOp):
         return op.value
     return None
+
+
+class FoldGetLabelOfKnownConstructor(RewritePattern):
+    """``lp.getlabel`` of a direct ``lp.construct``/``lp.reuse`` → the tag.
+
+    Case-of-known-constructor: a value built and immediately scrutinised in
+    the same function (common after join-point inlining and the λrc → lp
+    lowering of nested matches) has a statically known tag, so the label read
+    folds to an ``i8`` constant.  The constant then feeds the select /
+    ``rgn.switch`` folds above, which is what moves real programs onto the
+    worklist engine's notification-driven path.
+    """
+
+    op_name = lp.GetLabelOp.OP_NAME
+    benefit = 2
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        producer = op.operands[0].owner_op()
+        if isinstance(producer, (lp.ConstructOp, lp.ReuseOp)):
+            tag = producer.tag
+        else:
+            return False
+        constant = rewriter.create(arith.ConstantOp, tag, op.results[0].type)
+        rewriter.replace_op(op, constant.results)
+        return True
 
 
 class FoldSelectOfConstant(RewritePattern):
@@ -87,10 +116,20 @@ class InlineRunOfKnownRegion(RewritePattern):
         for block_arg, actual in zip(body.arguments, args):
             mapping.map_value(block_arg, actual)
         insert_block = op.parent
-        for body_op in body.operations:
+        actuals = set(args)
+        for body_op in body:
             cloned = body_op.clone(mapping)
             insert_block.insert_before(cloned, op)
-            rewriter.notify_op_inserted(cloned)
+            # The region body was already driven to fixpoint in place, so a
+            # clone of it can only *newly* match where the argument
+            # substitution changed an op's context: notify the top-level op
+            # (it moved into a new block) and every cloned op consuming one
+            # of the run arguments, instead of requeueing the whole subtree.
+            rewriter.notify_op_modified(cloned)
+            if actuals:
+                for sub in cloned.walk():
+                    if any(operand in actuals for operand in sub.operands):
+                        rewriter.notify_op_modified(sub)
         rewriter.erase_op(op)
         # The rgn.val is now unused; let DCE remove it (or remove it eagerly
         # if it became completely unused).
@@ -101,6 +140,7 @@ class InlineRunOfKnownRegion(RewritePattern):
 
 def case_elimination_patterns() -> List[RewritePattern]:
     return [
+        FoldGetLabelOfKnownConstructor(),
         FoldSelectOfConstant(),
         FoldSwitchOfConstant(),
         InlineRunOfKnownRegion(),

@@ -26,7 +26,7 @@ class FoldBinaryOp(RewritePattern):
 
     benefit = 2
 
-    _FOLDABLE = {
+    _FOLDABLE = frozenset({
         arith.AddIOp.OP_NAME,
         arith.SubIOp.OP_NAME,
         arith.MulIOp.OP_NAME,
@@ -35,7 +35,8 @@ class FoldBinaryOp(RewritePattern):
         arith.AndIOp.OP_NAME,
         arith.OrIOp.OP_NAME,
         arith.XorIOp.OP_NAME,
-    }
+    })
+    op_names = _FOLDABLE
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if op.name not in self._FOLDABLE or len(op.operands) != 2:
@@ -54,6 +55,12 @@ class FoldBinaryOp(RewritePattern):
 
 class FoldAddZero(RewritePattern):
     """``x + 0`` → ``x`` and ``0 + x`` → ``x`` (likewise ``x - 0``, ``x * 1``)."""
+
+    op_names = frozenset({
+        arith.AddIOp.OP_NAME,
+        arith.SubIOp.OP_NAME,
+        arith.MulIOp.OP_NAME,
+    })
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if op.name == arith.AddIOp.OP_NAME:

@@ -59,9 +59,10 @@ class CSEPass(FunctionPass):
     ) -> int:
         seen: Dict[Tuple, Operation] = {}
         erased = 0
-        ops = list(block.operations)
-        self.statistics.bump_meter("ops-scanned", len(ops))
-        for op in ops:
+        self.statistics.bump_meter("ops-scanned", len(block))
+        # Safe without a snapshot: the only mutation is erasing the current
+        # op, and block iteration captures the next link before yielding.
+        for op in block:
             if not op.has_trait(Pure) or op.regions or not op.results:
                 continue
             if op.has_trait(Allocates):

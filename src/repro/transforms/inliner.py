@@ -54,7 +54,7 @@ class InlinerPass(ModulePass):
         if len(callee.body.blocks) != 1:
             return False
         block = callee.body.blocks[0]
-        if len(block.operations) > self.max_callee_ops:
+        if len(block) > self.max_callee_ops:
             return False
         terminator = block.terminator
         return isinstance(terminator, (ReturnOp, LpReturnOp))
@@ -67,7 +67,7 @@ class InlinerPass(ModulePass):
             mapping.map_value(formal, actual)
         returned = None
         insert_block = call.parent
-        for op in block.operations:
+        for op in block:
             if isinstance(op, (ReturnOp, LpReturnOp)):
                 returned = [mapping.lookup(v) for v in op.operands]
                 break

@@ -83,7 +83,7 @@ def region_value_number(
         return ("outer", numbering.number_of(value))
 
     fingerprint = []
-    for op_index, op in enumerate(block.operations):
+    for op_index, op in enumerate(block):
         nested = []
         for nested_region in op.regions:
             inner = region_value_number(nested_region, numbering)
@@ -132,7 +132,9 @@ class RegionGVNPass(FunctionPass):
     def _run_on_block(self, block: Block, numbering: ValueNumbering) -> int:
         seen: Dict[Tuple, Operation] = {}
         merged = 0
-        for op in list(block.operations):
+        # Block iteration captures the next link before yielding, so erasing
+        # the current op (the only mutation below) is safe without a copy.
+        for op in block:
             if not isinstance(op, ValOp):
                 continue
             self.statistics.bump_meter("regions-scanned")

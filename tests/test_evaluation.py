@@ -23,6 +23,7 @@ SMALL_SIZES = {
     "binarytrees-int": {"depth": 4},
     "const_fold": {"depth": 3, "reps": 2},
     "deriv": {"reps": 2},
+    "digits": {"reps": 3, "span": 6},
     "filter": {"length": 15},
     "qsort": {"size": 8},
     "rbmap_checkpoint": {"inserts": 8},

@@ -191,4 +191,7 @@ class TestPassStatisticsReporting:
     def test_rgn_pipeline_reports_statistics(self):
         artifacts = MlirCompiler().compile(TestFigure5And8.EVAL)
         assert "region-gvn" in artifacts.pass_statistics
-        assert "dead-region-elimination" in artifacts.pass_statistics
+        # Dead region elimination now rides inside the unified
+        # canonicalisation drain (one worklist seed per function).
+        assert "canonicalize" in artifacts.pass_statistics
+        assert artifacts.pass_statistics["canonicalize"]["match-attempts"] > 0
