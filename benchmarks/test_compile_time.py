@@ -7,13 +7,22 @@ Asserts the acceptance criteria of the worklist-driver work:
 * efficiency — on the largest benchmark of the compile suite (the
   ``rewrite-stress`` dead-join-point tower) total pattern match attempts
   drop at least 3x versus the rescan driver,
-* reporting — ``BENCH_compile.json`` is emitted with per-phase timings.
+* reporting — ``BENCH_compile.json`` is emitted with per-phase timings,
+
+plus the acceptance criteria of the session-layer work (PR 4):
+
+* region-gvn memoisation — fingerprint hashing work on ``rbmap_checkpoint``
+  drops at least 3x versus the uncached-equivalent counter,
+* sharding — a ``--jobs 2`` suite run reaches byte-identical final IR (and
+  the same measurement set) as a sequential run.
 """
 
 import json
 
 import pytest
 
+from repro.backend.pipeline import MlirCompiler
+from repro.eval.benchmarks import DEFAULT_SIZES, benchmark_sources
 from repro.eval.compile_bench import (
     STRESS_BENCHMARK,
     CompileMeasurement,
@@ -24,7 +33,9 @@ from repro.eval.compile_bench import (
     load_baseline,
     measure_benchmark,
     measure_stress,
+    run_suite,
 )
+from repro.eval.harness import measurement_options
 
 
 @pytest.fixture(scope="module")
@@ -95,6 +106,38 @@ class TestStressWorkload:
         assert large.match_attempts < 4 * small.match_attempts
 
 
+class TestRegionGvnMemoisation:
+    """PR 4 guard: memoised region fingerprints on the flagship benchmark."""
+
+    @pytest.fixture(scope="class")
+    def rbmap_stats(self):
+        source = benchmark_sources(
+            {"rbmap_checkpoint": DEFAULT_SIZES["rbmap_checkpoint"]}
+        )["rbmap_checkpoint"]
+        artifacts = MlirCompiler(measurement_options("rgn")).compile(source)
+        return artifacts.pass_statistics["region-gvn"]
+
+    def test_fingerprint_work_drops_3x_vs_uncached(self, rbmap_stats):
+        hashed = rbmap_stats["fingerprint-entries-hashed"]
+        uncached = rbmap_stats["fingerprint-entries-uncached"]
+        assert hashed > 0
+        assert uncached >= 3 * hashed, (
+            f"rbmap_checkpoint: {hashed} op entries hashed with the memo, "
+            f"uncached equivalent {uncached} — ratio "
+            f"{uncached / hashed:.2f} < 3.0"
+        )
+
+    def test_every_region_hashed_at_most_once(self, rbmap_stats):
+        # Without mutations in this pipeline configuration, computed
+        # fingerprints equal the number of distinct regions queried — every
+        # repeat query must be a cache hit.
+        assert rbmap_stats["fingerprint-cache-hits"] > 0
+        assert (
+            rbmap_stats["fingerprints-computed"]
+            < rbmap_stats["fingerprints-uncached-equivalent"]
+        )
+
+
 class TestBenchJson:
     def test_emit_bench_compile_json(self, tmp_path, small_sizes):
         path = tmp_path / "BENCH_compile.json"
@@ -124,6 +167,18 @@ class TestBenchJson:
         bad.write_text('{"schema": "other/v9", "benchmarks": []}')
         with pytest.raises(ValueError):
             load_baseline(str(bad))
+
+    def test_sharded_suite_matches_sequential(self, small_sizes):
+        # One worker per benchmark must change nothing observable except
+        # wall time: same measurement set, byte-identical final IR.
+        sequential = run_suite(small_sizes, jobs=1)
+        sharded = run_suite(small_sizes, jobs=2)
+        assert [(m.benchmark, m.engine) for m in sequential] == [
+            (m.benchmark, m.engine) for m in sharded
+        ]
+        for seq, par in zip(sequential, sharded):
+            assert seq.ir_text == par.ir_text, seq.benchmark
+            assert seq.match_attempts == par.match_attempts, seq.benchmark
 
     def test_phase_timings_cover_pipeline(self, small_sizes):
         name = next(iter(small_sizes))

@@ -27,6 +27,7 @@ from .backend.pipeline import (
     FIGURE10_VARIANTS,
     RC_VARIANTS,
     BaselineCompiler,
+    CompilationSession,
     MlirCompiler,
     PipelineOptions,
 )
@@ -126,9 +127,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     check_heap = not args.no_check_heap
+    # One compilation session per CLI invocation: repeated compiles of the
+    # same source (e.g. driver scripts importing main) share frontend work.
+    session = CompilationSession()
     try:
         if args.variant == "baseline":
-            compiler = BaselineCompiler(rc_mode=args.rc_mode or "naive")
+            compiler = BaselineCompiler(
+                rc_mode=args.rc_mode or "naive", session=session
+            )
             artifacts = compiler.compile(source)
             if args.emit:
                 if args.emit != "c":
@@ -155,7 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.rewrite_engine is not None:
                 options.rewrite_engine = args.rewrite_engine
             options.verbose_passes = args.verbose
-            artifacts = MlirCompiler(options).compile(source)
+            artifacts = MlirCompiler(options, session=session).compile(source)
             if args.emit == "c":
                 print(
                     "error: the lp+rgn pipeline does not emit C; "

@@ -2,6 +2,7 @@
 C emitter and the end-to-end pipeline drivers."""
 
 from .c_backend import emit_c_source
+from .lowering_context import LabelScope, LoweringContext
 from .lp_codegen import CodegenError, generate_lp_module
 from .lp_to_rgn import LpToRgnPass, lower_lp_to_rgn
 from .pipeline import (
@@ -9,6 +10,7 @@ from .pipeline import (
     RC_VARIANTS,
     BaselineCompiler,
     CompilationArtifacts,
+    CompilationSession,
     Frontend,
     MlirCompiler,
     PipelineOptions,
@@ -23,6 +25,8 @@ from .rgn_to_cf import RgnToCfPass, lower_rgn_to_cf
 
 __all__ = [
     "emit_c_source",
+    "LabelScope",
+    "LoweringContext",
     "CodegenError",
     "generate_lp_module",
     "LpToRgnPass",
@@ -31,6 +35,7 @@ __all__ = [
     "RC_VARIANTS",
     "BaselineCompiler",
     "CompilationArtifacts",
+    "CompilationSession",
     "Frontend",
     "MlirCompiler",
     "PipelineOptions",

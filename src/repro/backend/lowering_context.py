@@ -1,0 +1,101 @@
+"""Module-scale context shared by the backend lowerings.
+
+Both backend lowerings used to rebuild small module-scale structures over
+and over: ``lp_codegen`` constructed a fresh boxed :class:`FunctionType`
+(and fresh ``[box] * n`` argument lists) for every function and join point,
+and neither lowering kept a symbol table, so anything that needed to map a
+symbol name back to its ``func.func`` re-walked the module.
+
+:class:`LoweringContext` hoists that work to module scope and makes it
+reusable *across* modules: types are immutable value objects, so the
+arity-keyed interning tables survive for the lifetime of the context (a
+:class:`~repro.backend.pipeline.CompilationSession` keeps one context for
+all programs it compiles), while the symbol table is rebuilt per module by
+``begin_module``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..dialects.func import FuncOp
+from ..ir.core import Value
+from ..ir.types import FunctionType, Type, box
+
+
+class LabelScope:
+    """Chained join-point label map.
+
+    The lp→rgn lowering used to copy the whole label dict once per switch
+    arm and once per join-point body (``dict(label_map)``), making deeply
+    nested control flow quadratic in the number of live labels.  A scope is
+    instead extended in O(1) by chaining: a child sees every parent binding,
+    definitions in a child shadow the parent and never leak to siblings.
+    """
+
+    __slots__ = ("_labels", "_parent")
+
+    def __init__(self, parent: Optional["LabelScope"] = None):
+        self._labels: Dict[str, Value] = {}
+        self._parent = parent
+
+    def child(self) -> "LabelScope":
+        """A new scope extending this one (O(1), no copying)."""
+        return LabelScope(self)
+
+    def define(self, label: str, value: Value) -> None:
+        self._labels[label] = value
+
+    def lookup(self, label: str) -> Optional[Value]:
+        scope: Optional[LabelScope] = self
+        while scope is not None:
+            value = scope._labels.get(label)
+            if value is not None:
+                return value
+            scope = scope._parent
+        return None
+
+
+class LoweringContext:
+    """Interned lowering structures: built once, reused per module/session.
+
+    * :meth:`boxed_fn_type` — the ``(!lp.t, …) -> !lp.t`` function type of a
+      given arity, interned (every λrc function and runtime call uses one).
+    * :meth:`box_arg_types` — the ``[box] * n`` argument-type tuple used for
+      entry blocks and join points, interned.
+    * :attr:`symbols` — symbol table of the module currently being lowered
+      (``sym_name`` → :class:`FuncOp`), reset by :meth:`begin_module` and
+      filled by :meth:`register_symbol` as functions are generated.
+    """
+
+    def __init__(self):
+        self._boxed_fn_types: Dict[int, FunctionType] = {}
+        self._box_arg_types: Dict[int, Tuple[Type, ...]] = {}
+        self.symbols: Dict[str, FuncOp] = {}
+        self.modules_lowered = 0
+
+    # -- interned types ----------------------------------------------------
+    def boxed_fn_type(self, arity: int) -> FunctionType:
+        """The interned ``(!lp.t^arity) -> !lp.t`` function type."""
+        cached = self._boxed_fn_types.get(arity)
+        if cached is None:
+            cached = FunctionType([box] * arity, [box])
+            self._boxed_fn_types[arity] = cached
+        return cached
+
+    def box_arg_types(self, count: int) -> Tuple[Type, ...]:
+        """The interned ``(!lp.t,) * count`` argument-type tuple."""
+        cached = self._box_arg_types.get(count)
+        if cached is None:
+            cached = (box,) * count
+            self._box_arg_types[count] = cached
+        return cached
+
+    # -- per-module symbol table -------------------------------------------
+    def begin_module(self) -> None:
+        """Reset the per-module state (symbol table); interning survives."""
+        self.symbols = {}
+        self.modules_lowered += 1
+
+    def register_symbol(self, func_op: FuncOp) -> None:
+        self.symbols[func_op.sym_name] = func_op

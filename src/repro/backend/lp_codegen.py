@@ -29,7 +29,7 @@ from ..dialects.builtin import ModuleOp
 from ..dialects.func import CallOp, FuncOp
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.core import Block, Value
-from ..ir.types import FunctionType, box
+from .lowering_context import LoweringContext
 from ..lambda_pure.ir import (
     App,
     Call,
@@ -59,20 +59,30 @@ class CodegenError(Exception):
 
 
 class LpCodegen:
-    """Generates an MLIR module in the lp dialect from a λrc program."""
+    """Generates an MLIR module in the lp dialect from a λrc program.
 
-    def __init__(self, program: Program):
+    Module-scale structures (interned boxed function types, the symbol
+    table) live in the :class:`LoweringContext`, which is built once and
+    reused across functions — and, when a compilation session provides one,
+    across programs.
+    """
+
+    def __init__(self, program: Program, context: Optional[LoweringContext] = None):
         self.program = program
+        self.context = context if context is not None else LoweringContext()
 
     # -- entry point -------------------------------------------------------------
     def generate(self) -> ModuleOp:
         module = ModuleOp("lean_module")
+        self.context.begin_module()
         for fn in self.program.functions.values():
-            module.append(self.generate_function(fn))
+            func_op = self.generate_function(fn)
+            self.context.register_symbol(func_op)
+            module.append(func_op)
         return module
 
     def generate_function(self, fn: Function) -> FuncOp:
-        fn_type = FunctionType([box] * fn.arity, [box])
+        fn_type = self.context.boxed_fn_type(fn.arity)
         func_op = FuncOp(fn.name, fn_type, arg_names=list(fn.params))
         entry = func_op.entry_block
         env: Dict[str, Value] = {
@@ -101,7 +111,9 @@ class LpCodegen:
             ).result()
         if isinstance(expr, Call):
             args = [env[a] for a in expr.args]
-            return builder.create(CallOp, expr.fn, args, [box]).result()
+            return builder.create(
+                CallOp, expr.fn, args, self.context.box_arg_types(1)
+            ).result()
         if isinstance(expr, PAp):
             args = [env[a] for a in expr.args]
             return builder.create(lp_dialect.PapOp, expr.fn, args).result()
@@ -163,7 +175,9 @@ class LpCodegen:
 
     def _gen_joinpoint(self, builder: Builder, jdecl: JDecl, env: Dict[str, Value]) -> None:
         joinpoint = builder.create(
-            lp_dialect.JoinPointOp, jdecl.label, [box] * len(jdecl.params)
+            lp_dialect.JoinPointOp,
+            jdecl.label,
+            self.context.box_arg_types(len(jdecl.params)),
         )
         body_block = joinpoint.body_block
         body_env = dict(env)
@@ -174,6 +188,8 @@ class LpCodegen:
         self._gen_body(jdecl.rest, joinpoint.pre_block, dict(env))
 
 
-def generate_lp_module(program: Program) -> ModuleOp:
+def generate_lp_module(
+    program: Program, context: Optional[LoweringContext] = None
+) -> ModuleOp:
     """Generate the lp-dialect MLIR module for a λrc program."""
-    return LpCodegen(program).generate()
+    return LpCodegen(program, context).generate()

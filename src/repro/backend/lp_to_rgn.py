@@ -10,19 +10,25 @@
 
 Data operations of the lp dialect (constructors, projections, closures,
 reference counts) are untouched — only control flow changes shape.
+
+The lowering is incremental at module scale: join-point labels live in a
+chained :class:`~repro.backend.lowering_context.LabelScope` (O(1) extension
+per arm/join body instead of one dict copy each), and when the shared
+:class:`LoweringContext` carries the symbol table that ``lp_codegen`` just
+built for this module, the lowering iterates it instead of re-scanning the
+module body for functions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List, Optional
 
 from ..dialects import arith, lp, rgn
 from ..dialects.builtin import ModuleOp
-from ..dialects.func import FuncOp
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.core import Block, Operation, Value
-from ..ir.types import i8
 from ..rewrite.pass_manager import ModulePass
+from .lowering_context import LabelScope, LoweringContext
 
 
 class LpToRgnError(Exception):
@@ -38,44 +44,56 @@ def _move_block_contents(source: Block, dest: Block) -> None:
 class LpToRgnLowering:
     """Lowers the control flow of every function in a module."""
 
-    def __init__(self, module: ModuleOp):
+    def __init__(self, module: ModuleOp, context: Optional[LoweringContext] = None):
         self.module = module
+        self.context = context if context is not None else LoweringContext()
 
     def run(self) -> ModuleOp:
-        for func in self.module.functions():
+        for func in self._module_functions():
             if func.entry_block is not None:
-                self._lower_block(func.entry_block, {})
+                self._lower_block(func.entry_block, LabelScope())
         return self.module
 
+    def _module_functions(self):
+        """The module's functions, from the context symbol table when it was
+        built for *this* module (the pipeline fills it during lp codegen
+        immediately before this lowering); otherwise a module body scan."""
+        symbols = list(self.context.symbols.values())
+        if symbols and all(op.parent_op() is self.module for op in symbols):
+            return symbols
+        return self.module.functions()
+
     # -- per-block lowering ---------------------------------------------------------
-    def _lower_block(self, block: Block, label_map: Dict[str, Value]) -> None:
+    def _lower_block(self, block: Block, labels: LabelScope) -> None:
         terminator = block.last_op
         if terminator is None:
             return
         if isinstance(terminator, lp.SwitchOp):
-            self._lower_switch(block, terminator, label_map)
+            self._lower_switch(block, terminator, labels)
         elif isinstance(terminator, lp.JoinPointOp):
-            self._lower_joinpoint(block, terminator, label_map)
+            self._lower_joinpoint(block, terminator, labels)
         elif isinstance(terminator, lp.JumpOp):
-            self._lower_jump(block, terminator, label_map)
+            self._lower_jump(block, terminator, labels)
         # lp.return / lp.unreachable stay as they are.
 
     def _lower_switch(
-        self, block: Block, switch: lp.SwitchOp, label_map: Dict[str, Value]
+        self, block: Block, switch: lp.SwitchOp, labels: LabelScope
     ) -> None:
         builder = Builder(InsertionPoint.before(switch))
-        # One rgn.val per arm; arms are lowered recursively.
+        # One rgn.val per arm; arms are lowered recursively.  Arms only read
+        # the enclosing labels, so they share the scope — definitions made
+        # inside an arm live in that arm's child scopes and cannot leak.
         arm_values: List[Value] = []
         for region in switch.case_regions:
             val = builder.create(rgn.ValOp)
             _move_block_contents(region.blocks[0], val.body_block)
-            self._lower_block(val.body_block, dict(label_map))
+            self._lower_block(val.body_block, labels)
             arm_values.append(val.result())
         default_value: Value
         if switch.has_default:
             val = builder.create(rgn.ValOp)
             _move_block_contents(switch.default_block, val.body_block)
-            self._lower_block(val.body_block, dict(label_map))
+            self._lower_block(val.body_block, labels)
             default_value = val.result()
         else:
             default_value = arm_values[-1]
@@ -105,7 +123,7 @@ class LpToRgnLowering:
         switch.erase()
 
     def _lower_joinpoint(
-        self, block: Block, joinpoint: lp.JoinPointOp, label_map: Dict[str, Value]
+        self, block: Block, joinpoint: lp.JoinPointOp, labels: LabelScope
     ) -> None:
         builder = Builder(InsertionPoint.before(joinpoint))
         arg_types = joinpoint.arg_types
@@ -118,26 +136,29 @@ class LpToRgnLowering:
             old_arg.replace_all_uses_with(new_arg)
         _move_block_contents(source_body, val.body_block)
 
-        new_map = dict(label_map)
-        new_map[joinpoint.label] = val.result()
-        self._lower_block(val.body_block, dict(label_map))
+        # The join body cannot jump to itself; it sees only the outer labels.
+        self._lower_block(val.body_block, labels)
 
         # Inline the pre-jump code after the region definition; it becomes
-        # the remainder of the current block.
+        # the remainder of the current block, which *can* jump to the new
+        # label — extend the scope in O(1) instead of copying the map.
+        inner = labels.child()
+        inner.define(joinpoint.label, val.result())
         pre_block = joinpoint.pre_block
         for op in pre_block:
             op.detach()
             block.insert_before(op, joinpoint)
         joinpoint.erase()
-        self._lower_block(block, new_map)
+        self._lower_block(block, inner)
 
     def _lower_jump(
-        self, block: Block, jump: lp.JumpOp, label_map: Dict[str, Value]
+        self, block: Block, jump: lp.JumpOp, labels: LabelScope
     ) -> None:
-        if jump.label not in label_map:
+        target = labels.lookup(jump.label)
+        if target is None:
             raise LpToRgnError(f"lp.jump to unknown join point @{jump.label}")
         builder = Builder(InsertionPoint.before(jump))
-        builder.create(rgn.RunOp, label_map[jump.label], jump.args)
+        builder.create(rgn.RunOp, target, jump.args)
         jump.erase()
 
 
@@ -151,6 +172,8 @@ class LpToRgnPass(ModulePass):
             LpToRgnLowering(module).run()
 
 
-def lower_lp_to_rgn(module: ModuleOp) -> ModuleOp:
+def lower_lp_to_rgn(
+    module: ModuleOp, context: Optional[LoweringContext] = None
+) -> ModuleOp:
     """Lower all lp control flow in ``module`` to rgn form (in place)."""
-    return LpToRgnLowering(module).run()
+    return LpToRgnLowering(module, context).run()

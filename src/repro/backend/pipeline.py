@@ -46,6 +46,7 @@ from ..transforms.cse import CSEPass
 from ..transforms.dce import DeadCodeEliminationPass
 from ..transforms.region_gvn import RegionGVNPass
 from .c_backend import emit_c_source
+from .lowering_context import LoweringContext
 from .lp_codegen import generate_lp_module
 from .lp_to_rgn import lower_lp_to_rgn
 from .rgn_to_cf import lower_rgn_to_cf
@@ -130,6 +131,58 @@ class Frontend:
         return lower_program(surface, env)
 
 
+class CompilationSession:
+    """Shares frontend and lowering work across compilations.
+
+    The eval harness compiles every benchmark through up to nine pipeline
+    variants; without a session each run re-parses, re-typechecks and
+    re-lowers the identical source.  A session adds a *content-keyed*
+    frontend cache: the first compile of a source pays the full frontend,
+    later compiles of the same text get a deep copy of the memoised λpure
+    program (a copy, so downstream mutation can never leak between runs —
+    cached and uncached compiles produce byte-identical IR).
+
+    The prelude itself is shared one level deeper: the builtin typing
+    tables are resolved once per process (see
+    :func:`repro.lean.typecheck._prelude_tables`), so even cache *misses*
+    skip the prelude re-derivation.  The session also owns one
+    :class:`LoweringContext`, so interned backend types survive across
+    programs.
+
+    Sessions are cheap, single-process objects; the process-sharded harness
+    gives each worker its own.
+    """
+
+    def __init__(self):
+        self._pure_cache: Dict[str, PureProgram] = {}
+        self.lowering_context = LoweringContext()
+        self.hits = 0
+        self.misses = 0
+
+    def frontend(self, source: str) -> PureProgram:
+        """λpure program for ``source``, served from the cache when possible.
+
+        Always returns a fresh deep copy — callers own the result.
+        """
+        cached = self._pure_cache.get(source)
+        if cached is None:
+            self.misses += 1
+            cached = Frontend.to_pure(source)
+            self._pure_cache[source] = cached
+        else:
+            self.hits += 1
+        return copy.deepcopy(cached)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss accounting (one entry per distinct source cached)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._pure_cache),
+        }
+
+
 @contextmanager
 def _phase(timings: Dict[str, float], name: str):
     """Accumulate the wall time of one compilation phase into ``timings``."""
@@ -191,14 +244,25 @@ class BaselineCompiler:
     """The baseline ("leanc") pipeline: λrc executed directly, C emitted as
     an artifact."""
 
-    def __init__(self, *, enable_simplifier: bool = True, rc_mode: str = "naive"):
+    def __init__(
+        self,
+        *,
+        enable_simplifier: bool = True,
+        rc_mode: str = "naive",
+        session: Optional[CompilationSession] = None,
+    ):
         self.enable_simplifier = enable_simplifier
         self.rc_mode = rc_mode
+        self.session = session
 
     def compile(self, source: str) -> CompilationArtifacts:
         timings: Dict[str, float] = {}
         with _phase(timings, "frontend"):
-            pure = Frontend.to_pure(source)
+            pure = (
+                self.session.frontend(source)
+                if self.session is not None
+                else Frontend.to_pure(source)
+            )
         with _phase(timings, "simplify"):
             optimized = (
                 simplify_program(copy.deepcopy(pure))
@@ -226,14 +290,28 @@ class BaselineCompiler:
 class MlirCompiler:
     """The new pipeline: λrc → lp → rgn → CFG."""
 
-    def __init__(self, options: Optional[PipelineOptions] = None):
+    def __init__(
+        self,
+        options: Optional[PipelineOptions] = None,
+        *,
+        session: Optional[CompilationSession] = None,
+    ):
         self.options = options if options is not None else PipelineOptions()
+        self.session = session
 
     def compile(self, source: str) -> CompilationArtifacts:
         options = self.options
+        session = self.session
+        lowering_context = (
+            session.lowering_context if session is not None else LoweringContext()
+        )
         timings: Dict[str, float] = {}
         with _phase(timings, "frontend"):
-            pure = Frontend.to_pure(source)
+            pure = (
+                session.frontend(source)
+                if session is not None
+                else Frontend.to_pure(source)
+            )
         with _phase(timings, "simplify"):
             staged = copy.deepcopy(pure)
             if options.run_lambda_simplifier:
@@ -243,7 +321,7 @@ class MlirCompiler:
         with _phase(timings, "rc-insert"):
             rc, rc_report = insert_optimized_rc(staged, options.rc_mode)
         with _phase(timings, "lp-codegen"):
-            lp_module = generate_lp_module(rc)
+            lp_module = generate_lp_module(rc, lowering_context)
         artifacts = CompilationArtifacts(
             surface_source=source,
             pure_program=pure,
@@ -268,7 +346,7 @@ class MlirCompiler:
                 for name, stats in lp_fusion.statistics.items()
             )
         with _phase(timings, "lp-to-rgn"):
-            cfg_module = lower_lp_to_rgn(lp_module)
+            cfg_module = lower_lp_to_rgn(lp_module, lowering_context)
         artifacts.module_op_counts["rgn"] = sum(1 for _ in cfg_module.walk()) - 1
         if options.run_rgn_optimizations:
             with _phase(timings, "rgn-opt"):
@@ -288,17 +366,23 @@ class MlirCompiler:
         return CfgInterpreter(artifacts.cfg_module).run_main(check_heap=check_heap)
 
 
-def run_reference(source: str):
+def run_reference(source: str, *, session: Optional[CompilationSession] = None):
     """Run the source through the λpure reference interpreter (golden value)."""
-    pure = Frontend.to_pure(source)
+    pure = session.frontend(source) if session is not None else Frontend.to_pure(source)
     return normalize(ReferenceInterpreter(pure).run_main())
 
 
 def run_baseline(
-    source: str, *, check_heap: bool = True, rc_mode: str = "naive"
+    source: str,
+    *,
+    check_heap: bool = True,
+    rc_mode: str = "naive",
+    session: Optional[CompilationSession] = None,
 ) -> RunResult:
     """Compile and run via the baseline ("leanc") pipeline."""
-    return BaselineCompiler(rc_mode=rc_mode).run(source, check_heap=check_heap)
+    return BaselineCompiler(rc_mode=rc_mode, session=session).run(
+        source, check_heap=check_heap
+    )
 
 
 def run_mlir(
@@ -306,9 +390,10 @@ def run_mlir(
     options: Optional[PipelineOptions] = None,
     *,
     check_heap: bool = True,
+    session: Optional[CompilationSession] = None,
 ) -> RunResult:
     """Compile and run via the lp+rgn pipeline."""
-    return MlirCompiler(options).run(source, check_heap=check_heap)
+    return MlirCompiler(options, session=session).run(source, check_heap=check_heap)
 
 
 def run_rc_variant(

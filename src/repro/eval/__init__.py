@@ -8,6 +8,7 @@ from .harness import (
     SpeedupRow,
     VariantMeasurement,
     geometric_mean,
+    measurement_options,
 )
 from .testsuite import TestProgram, programs_by_category, regression_programs
 
@@ -21,6 +22,7 @@ __all__ = [
     "SpeedupRow",
     "VariantMeasurement",
     "geometric_mean",
+    "measurement_options",
     "TestProgram",
     "programs_by_category",
     "regression_programs",

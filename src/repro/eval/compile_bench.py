@@ -20,8 +20,10 @@ regression-guarded quantity:
 Usage::
 
     python -m repro.eval.compile_bench                  # text report
-    python -m repro.eval.compile_bench --json BENCH_compile.json
+    python -m repro.eval.compile_bench --json BENCH_compile.new.json
     python -m repro.eval.compile_bench --differential   # engine comparison
+    python -m repro.eval.compile_bench --baseline BENCH_compile.json
+    python -m repro.eval.compile_bench --jobs 4         # shard across processes
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..backend.pipeline import MlirCompiler, PipelineOptions
+from ..backend.pipeline import CompilationSession, MlirCompiler
 from ..dialects import lp, rgn
 from ..dialects.builtin import ModuleOp
 from ..dialects.func import FuncOp
@@ -41,6 +43,7 @@ from ..ir.types import FunctionType, i1
 from ..rewrite import GreedyRewriteResult, apply_patterns_greedily
 from ..transforms.canonicalize import canonicalization_patterns
 from .benchmarks import DEFAULT_SIZES, benchmark_sources
+from .harness import measurement_options, run_sharded
 
 #: Compilation phases reported per benchmark (in pipeline order).
 PHASES = (
@@ -173,6 +176,7 @@ def measure_benchmark(
     *,
     engine: str = "worklist",
     variant: str = "rgn",
+    session: Optional[CompilationSession] = None,
 ) -> CompileMeasurement:
     """Compile one benchmark and record phase timings plus driver work.
 
@@ -181,13 +185,9 @@ def measure_benchmark(
     """
     import time
 
-    options = (
-        PipelineOptions() if variant == "default" else PipelineOptions.variant(variant)
-    )
-    options.verify_each = False
-    options.rewrite_engine = engine
+    options = measurement_options(variant, rewrite_engine=engine)
     start = time.perf_counter()
-    artifacts = MlirCompiler(options).compile(source)
+    artifacts = MlirCompiler(options, session=session).compile(source)
     total = time.perf_counter() - start
 
     def counter_total(key: str) -> int:
@@ -211,22 +211,49 @@ def measure_benchmark(
     )
 
 
+def _suite_worker(task) -> CompileMeasurement:
+    """One shard of :func:`run_suite`: (name, source, engine, variant)."""
+    name, source, engine, variant = task
+    return measure_benchmark(
+        name, source, engine=engine, variant=variant, session=CompilationSession()
+    )
+
+
 def run_suite(
     sizes: Optional[Dict[str, Dict[str, int]]] = None,
     *,
     engines: tuple = ("worklist",),
     variant: str = "rgn",
     include_stress: bool = True,
+    jobs: int = 1,
 ) -> List[CompileMeasurement]:
-    """Measure every benchmark (plus the stress module) per engine."""
+    """Measure every benchmark (plus the stress module) per engine.
+
+    ``jobs > 1`` shards the (benchmark, engine) pairs across processes —
+    one worker per benchmark — and merges in suite order.  Every task gets
+    its own fresh :class:`CompilationSession` whichever way it is
+    scheduled, so sharding changes nothing but wall time: a shared session
+    would turn the second engine's ``frontend`` timings into cache-hit
+    deep copies and make jobs=1 and jobs=N payloads diverge.
+    """
     sources = benchmark_sources(sizes or DEFAULT_SIZES)
+    tasks = [
+        (name, source, engine, variant)
+        for engine in engines
+        for name, source in sources.items()
+    ]
+    sharded = run_sharded(tasks, _suite_worker, jobs)
+    if sharded is None:
+        sharded = [_suite_worker(task) for task in tasks]
+    by_engine: Dict[str, List[CompileMeasurement]] = {}
+    for measurement in sharded:
+        by_engine.setdefault(measurement.engine, []).append(measurement)
     measurements: List[CompileMeasurement] = []
     for engine in engines:
-        for name, source in sources.items():
-            measurements.append(
-                measure_benchmark(name, source, engine=engine, variant=variant)
-            )
+        measurements.extend(by_engine.get(engine, []))
         if include_stress:
+            # The stress tower is synthetic and cheap; measure it in-process
+            # so its position in the payload is stable.
             measurements.append(measure_stress(engine))
     return measurements
 
@@ -277,10 +304,11 @@ def differential_rows(
     sizes: Optional[Dict[str, Dict[str, int]]] = None,
     *,
     variant: str = "rgn",
+    jobs: int = 1,
 ) -> List[DifferentialRow]:
     """Compile the suite with both engines and compare IR and driver work."""
     return rows_from_measurements(
-        run_suite(sizes, engines=("worklist", "rescan"), variant=variant)
+        run_suite(sizes, engines=("worklist", "rescan"), variant=variant, jobs=jobs)
     )
 
 
@@ -319,9 +347,17 @@ def emit_json(
     *,
     engines: tuple = ("worklist", "rescan"),
     variant: str = "rgn",
+    jobs: int = 1,
+    measurements: Optional[List[CompileMeasurement]] = None,
 ) -> Dict[str, object]:
-    """Measure the suite and write ``BENCH_compile.json`` to ``path``."""
-    measurements = run_suite(sizes, engines=engines, variant=variant)
+    """Measure the suite and write ``BENCH_compile.json`` to ``path``.
+
+    Pass precomputed ``measurements`` to serialise an existing run instead
+    of re-measuring (the CLI does this when both ``--json`` and
+    ``--baseline`` are requested, so the suite is compiled once).
+    """
+    if measurements is None:
+        measurements = run_suite(sizes, engines=engines, variant=variant, jobs=jobs)
     payload = bench_payload(measurements, variant=variant)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
@@ -352,15 +388,21 @@ def compile_report(
     *,
     variant: str = "rgn",
     baseline: Optional[Dict[str, Dict[str, object]]] = None,
+    jobs: int = 1,
+    measurements: Optional[List[CompileMeasurement]] = None,
 ) -> str:
     """Text report: per-phase timings plus the engine differential.
 
     With ``baseline`` (a table from :func:`load_baseline`), the phase table
     becomes a before/after comparison: each row shows the baseline run's
     rgn-opt time and match attempts next to the current ones, so a phase
-    regression or improvement is visible benchmark by benchmark.
+    regression or improvement is visible benchmark by benchmark.  Pass
+    precomputed ``measurements`` to report on an existing run.
     """
-    measurements = run_suite(sizes, engines=("worklist", "rescan"), variant=variant)
+    if measurements is None:
+        measurements = run_suite(
+            sizes, engines=("worklist", "rescan"), variant=variant, jobs=jobs
+        )
     rows = rows_from_measurements(measurements)
     worklist_by_name = {
         m.benchmark: m for m in measurements if m.engine == "worklist"
@@ -431,15 +473,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="compare the phase table against a previously written "
         "BENCH_compile.json (before/after per benchmark)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the suite across N worker processes "
+        "(one benchmark per worker; default: sequential)",
+    )
     args = parser.parse_args(argv)
 
     if args.json:
-        payload = emit_json(args.json, variant=args.variant)
+        # Measure once; --baseline additionally reports on the same run.
+        measurements = run_suite(
+            engines=("worklist", "rescan"), variant=args.variant, jobs=args.jobs
+        )
+        payload = emit_json(
+            args.json, variant=args.variant, measurements=measurements
+        )
         suites = len(payload["benchmarks"])
         print(f"wrote {args.json} ({suites} measurements)")
+        if args.baseline:
+            baseline = load_baseline(args.baseline)
+            print(
+                compile_report(
+                    variant=args.variant,
+                    baseline=baseline,
+                    measurements=measurements,
+                )
+            )
         return 0
     if args.differential:
-        for row in differential_rows(variant=args.variant):
+        for row in differential_rows(variant=args.variant, jobs=args.jobs):
             print(
                 f"{row.benchmark:18s} worklist={row.worklist_attempts:6d} "
                 f"rescan={row.rescan_attempts:6d} ratio={row.attempt_ratio:5.2f} "
@@ -447,7 +509,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     baseline = load_baseline(args.baseline) if args.baseline else None
-    print(compile_report(variant=args.variant, baseline=baseline))
+    print(compile_report(variant=args.variant, baseline=baseline, jobs=args.jobs))
     return 0
 
 

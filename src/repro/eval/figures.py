@@ -8,6 +8,7 @@ Usage::
     python -m repro.eval.figures --figure rc
     python -m repro.eval.figures --figure compile
     python -m repro.eval.figures --all
+    python -m repro.eval.figures --all --jobs 4   # shard across processes
 
 Each report prints the same rows/series as the paper's figure; absolute
 numbers differ (the substrate is a cost-model interpreter, not the authors'
@@ -181,12 +182,12 @@ def rc_report(harness: Optional[EvaluationHarness] = None) -> str:
     return "\n".join(lines)
 
 
-def compile_time_report() -> str:
+def compile_time_report(jobs: int = 1) -> str:
     """Compile-time report: per-phase timings and the rewrite-engine
     differential (see :mod:`repro.eval.compile_bench`)."""
     from .compile_bench import compile_report
 
-    return compile_report()
+    return compile_report(jobs=jobs)
 
 
 def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
@@ -209,10 +210,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--correctness", action="store_true", help="print the correctness report"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard measurement across N worker processes (one benchmark "
+        "per worker); the figure output is byte-identical to --jobs 1",
+    )
     args = parser.parse_args(argv)
 
     printed = False
-    harness = EvaluationHarness()
+    harness = EvaluationHarness(jobs=args.jobs)
     if args.correctness:
         print(correctness_report(harness))
         printed = True
@@ -231,7 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(rc_report(harness))
         printed = True
     if args.all or args.figure == "compile":
-        print(compile_time_report())
+        print(compile_time_report(jobs=args.jobs))
         printed = True
     if not printed:
         parser.print_help()

@@ -1,21 +1,52 @@
 """Evaluation harness: runs the benchmark suite through the pipeline variants
-and computes the speedup series of Figures 9 and 10."""
+and computes the speedup series of Figures 9 and 10.
+
+The harness is session-aware and shardable:
+
+* every measurement threads one :class:`~repro.backend.pipeline.
+  CompilationSession` per worker, so the frontend of a source is parsed and
+  type-checked once no matter how many variants compile it,
+* ``jobs > 1`` fans the suite out across processes — one worker per
+  benchmark — and merges the results back in suite order, so the figure
+  output is byte-identical to a sequential run.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend.pipeline import (
     FIGURE10_VARIANTS,
     RC_VARIANTS,
+    CompilationSession,
     PipelineOptions,
     run_baseline,
     run_mlir,
     run_reference,
 )
 from .benchmarks import DEFAULT_SIZES, benchmark_sources
+
+
+def measurement_options(
+    variant: str, *, rewrite_engine: Optional[str] = None
+) -> PipelineOptions:
+    """The :class:`PipelineOptions` used for *measurement* runs.
+
+    One shared construction point for the harness and the compile-time
+    benchmarks: resolves the variant, switches per-pass verification off
+    (measurements time the pipeline, not the verifier) and applies the
+    requested rewrite engine.  Session/jobs configuration threads through
+    the callers; only the per-compile knobs live here.
+    """
+    options = (
+        PipelineOptions() if variant == "default" else PipelineOptions.variant(variant)
+    )
+    options.verify_each = False
+    if rewrite_engine is not None:
+        options.rewrite_engine = rewrite_engine
+    return options
 
 
 @dataclass
@@ -65,17 +96,16 @@ def geometric_mean(values: List[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def _measure(benchmark: str, variant: str, source: str) -> VariantMeasurement:
+def _measure(
+    benchmark: str,
+    variant: str,
+    source: str,
+    session: Optional[CompilationSession] = None,
+) -> VariantMeasurement:
     if variant == "baseline":
-        result = run_baseline(source)
+        result = run_baseline(source, session=session)
     else:
-        options = (
-            PipelineOptions()
-            if variant == "default"
-            else PipelineOptions.variant(variant)
-        )
-        options.verify_each = False
-        result = run_mlir(source, options)
+        result = run_mlir(source, measurement_options(variant), session=session)
     counts = result.metrics.counts
     return VariantMeasurement(
         benchmark=benchmark,
@@ -88,6 +118,37 @@ def _measure(benchmark: str, variant: str, source: str) -> VariantMeasurement:
         rc_ops=counts.get("rc", 0),
         reuses=result.heap_stats.get("reuses", 0),
     )
+
+
+def _measure_benchmark_worker(
+    task: Tuple[str, str, Tuple[str, ...]],
+) -> List[VariantMeasurement]:
+    """One shard: measure every requested variant of one benchmark.
+
+    Runs in a worker process, so it builds its own session — the frontend
+    of the benchmark is still shared across the variants it measures.
+    """
+    name, source, variants = task
+    session = CompilationSession()
+    return [_measure(name, variant, source, session) for variant in variants]
+
+
+def run_sharded(tasks: Sequence, worker, jobs: int) -> Optional[List]:
+    """Run ``worker`` over ``tasks`` in a process pool, results in order.
+
+    Returns None when sharding is unavailable (no ``fork`` start method) or
+    pointless (one task / one job); callers then fall back to sequential.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return None
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        return None
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(worker, tasks)
 
 
 @dataclass
@@ -114,20 +175,59 @@ class RcTableRow:
 
 
 class EvaluationHarness:
-    """Runs every benchmark through the requested pipeline variants."""
+    """Runs every benchmark through the requested pipeline variants.
 
-    def __init__(self, sizes: Optional[Dict[str, Dict[str, int]]] = None):
+    ``jobs`` shards measurement across processes (one worker per
+    benchmark); ``session`` is the compilation session used for sequential
+    runs (each worker process builds its own).
+    """
+
+    def __init__(
+        self,
+        sizes: Optional[Dict[str, Dict[str, int]]] = None,
+        *,
+        jobs: int = 1,
+        session: Optional[CompilationSession] = None,
+    ):
         self.sizes = sizes or DEFAULT_SIZES
         self.sources = benchmark_sources(self.sizes)
+        self.jobs = max(1, int(jobs))
+        self.session = session if session is not None else CompilationSession()
+
+    # -- measurement fan-out ----------------------------------------------------
+    def _measurements(
+        self, variants: Sequence[str]
+    ) -> Dict[str, Dict[str, VariantMeasurement]]:
+        """Measure ``variants`` for every benchmark, sharded when ``jobs > 1``.
+
+        Returns ``{benchmark: {variant: measurement}}`` in suite order —
+        identical whichever way the measurements were scheduled.
+        """
+        tasks = [
+            (name, source, tuple(variants)) for name, source in self.sources.items()
+        ]
+        results = run_sharded(tasks, _measure_benchmark_worker, self.jobs)
+        if results is None:
+            results = [
+                [
+                    _measure(name, variant, source, self.session)
+                    for variant in variants
+                ]
+                for name, source, variants in tasks
+            ]
+        return {
+            task[0]: {m.variant: m for m in measurements}
+            for task, measurements in zip(tasks, results)
+        }
 
     # -- correctness ------------------------------------------------------------
     def verify_correctness(self) -> Dict[str, bool]:
         """Check that every backend agrees with the reference interpreter."""
         report: Dict[str, bool] = {}
         for name, source in self.sources.items():
-            expected = run_reference(source)
-            baseline = run_baseline(source)
-            mlir = run_mlir(source)
+            expected = run_reference(source, session=self.session)
+            baseline = run_baseline(source, session=self.session)
+            mlir = run_mlir(source, session=self.session)
             report[name] = baseline.value == expected and mlir.value == expected
         return report
 
@@ -135,9 +235,10 @@ class EvaluationHarness:
     def figure9(self) -> FigureData:
         """Speedup of the lp+rgn backend over the baseline ("leanc") backend."""
         data = FigureData(figure="figure9")
-        for name, source in self.sources.items():
-            baseline = _measure(name, "baseline", source)
-            mlir = _measure(name, "default", source)
+        measured = self._measurements(("baseline", "default"))
+        for name in self.sources:
+            baseline = measured[name]["baseline"]
+            mlir = measured[name]["default"]
             if baseline.value != mlir.value:
                 raise AssertionError(
                     f"{name}: backends disagree "
@@ -159,10 +260,11 @@ class EvaluationHarness:
         λpure-simplifier variant of the MLIR pipeline."""
         data = FigureData(figure="figure10")
         data.extra_series["none"] = []
-        for name, source in self.sources.items():
-            simplifier = _measure(name, "simplifier", source)
-            rgn = _measure(name, "rgn", source)
-            none = _measure(name, "none", source)
+        measured = self._measurements(FIGURE10_VARIANTS)
+        for name in self.sources:
+            simplifier = measured[name]["simplifier"]
+            rgn = measured[name]["rgn"]
+            none = measured[name]["none"]
             values = {simplifier.value, rgn.value, none.value}
             if len(values) != 1:
                 raise AssertionError(f"{name}: pipeline variants disagree: {values}")
@@ -189,11 +291,12 @@ class EvaluationHarness:
         """RC traffic (``rc_ops``) and heap allocations per benchmark for the
         RC ablation variants — the reporting surface of :mod:`repro.rc_opt`."""
         rows: List[RcTableRow] = []
-        for name, source in self.sources.items():
+        measured = self._measurements(RC_VARIANTS)
+        for name in self.sources:
             row = RcTableRow(benchmark=name)
             values = set()
             for variant in RC_VARIANTS:
-                measurement = _measure(name, variant, source)
+                measurement = measured[name][variant]
                 row.measurements[variant] = measurement
                 values.add(measurement.value)
             if len(values) != 1:
@@ -203,8 +306,10 @@ class EvaluationHarness:
 
     # -- raw measurements ---------------------------------------------------------------------
     def all_measurements(self) -> List[VariantMeasurement]:
-        measurements: List[VariantMeasurement] = []
-        for name, source in self.sources.items():
-            for variant in ("baseline", "default", *FIGURE10_VARIANTS, *RC_VARIANTS):
-                measurements.append(_measure(name, variant, source))
-        return measurements
+        variants = ("baseline", "default", *FIGURE10_VARIANTS, *RC_VARIANTS)
+        measured = self._measurements(variants)
+        return [
+            measured[name][variant]
+            for name in self.sources
+            for variant in variants
+        ]

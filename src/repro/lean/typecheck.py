@@ -36,16 +36,53 @@ class ConstructorSignature:
         return len(self.fields)
 
 
+#: Lazily built prelude tables (constructor signatures and inductive lists
+#: of the builtin declarations).  The prelude never changes within a
+#: process, so every :class:`GlobalEnv` — and hence every compilation in a
+#: session — shares one resolved copy instead of re-deriving it per program.
+_PRELUDE_TABLES: Optional[
+    Tuple[Dict[str, ConstructorSignature], Dict[str, List[ConstructorSignature]]]
+] = None
+
+
+def _prelude_tables():
+    global _PRELUDE_TABLES
+    if _PRELUDE_TABLES is None:
+        constructors: Dict[str, ConstructorSignature] = {}
+        inductives: Dict[str, List[ConstructorSignature]] = {}
+        for ind in builtin_inductives():
+            signatures = []
+            for tag, ctor in enumerate(ind.constructors):
+                sig = ConstructorSignature(
+                    ind.name, ctor.name, tag, [t for _, t in ctor.fields]
+                )
+                signatures.append(sig)
+                constructors[sig.qualified] = sig
+            inductives[ind.name] = signatures
+        _PRELUDE_TABLES = (constructors, inductives)
+    return _PRELUDE_TABLES
+
+
 class GlobalEnv:
-    """Global typing environment: functions, constructors and inductives."""
+    """Global typing environment: functions, constructors and inductives.
+
+    Prelude-derived structures (builtin function types and constructor
+    signatures) are resolved once per process by :func:`_prelude_tables`
+    and shared; only the program's own declarations are processed here.
+    """
 
     def __init__(self, program: ast.Program):
         self.program = program
+        prelude_constructors, prelude_inductives = _prelude_tables()
         self.functions: Dict[str, ast.LeanType] = dict(BUILTIN_FUNCTIONS)
-        self.constructors: Dict[str, ConstructorSignature] = {}
-        self.inductives: Dict[str, List[ConstructorSignature]] = {}
+        self.constructors: Dict[str, ConstructorSignature] = dict(
+            prelude_constructors
+        )
+        self.inductives: Dict[str, List[ConstructorSignature]] = dict(
+            prelude_inductives
+        )
 
-        for ind in list(builtin_inductives()) + list(program.inductives):
+        for ind in list(program.inductives):
             if ind.name in self.inductives:
                 raise TypeError_(f"duplicate inductive {ind.name}")
             signatures = []

@@ -22,7 +22,12 @@ from .cse import CSEPass
 from .dce import DeadCodeEliminationPass, eliminate_dead_code
 from .dead_region import DeadRegionEliminationPass
 from .inliner import InlinerPass
-from .region_gvn import RegionGVNPass, region_value_number
+from .region_gvn import (
+    RegionFingerprinter,
+    RegionGVNPass,
+    ValueNumbering,
+    region_value_number,
+)
 
 __all__ = [
     "CanonicalizePass",
@@ -38,6 +43,8 @@ __all__ = [
     "eliminate_dead_code",
     "DeadRegionEliminationPass",
     "InlinerPass",
+    "RegionFingerprinter",
     "RegionGVNPass",
+    "ValueNumbering",
     "region_value_number",
 ]

@@ -1,4 +1,4 @@
-"""Global Region Numbering (the paper's §IV-B.2).
+"""Global Region Numbering (the paper's §IV-B.2), memoised.
 
 Classical global value numbering assigns a number to every SSA value such
 that two values with equal numbers compute the same result.  The paper
@@ -11,6 +11,20 @@ Merging two ``rgn.val`` operations with equal numbers is the region analogue
 of CSE: redundant computations across branches of control flow are
 identified, after which common-branch elimination can fold the surrounding
 ``select`` / ``rgn.switch`` away (Figure in §IV-B.2, steps B → C → D).
+
+Fingerprint memoisation
+-----------------------
+
+Region values nest, and the pass scans every block — so the naive
+formulation (:func:`region_value_number`, kept as the differential
+reference) refingerprints each region once per enclosing ``rgn.val``: a
+region at nesting depth *d* is hashed *d* times.  :class:`RegionFingerprinter`
+computes fingerprints bottom-up instead, memoised per :class:`Region`
+identity, so each region is hashed exactly once — until a mutation
+notification invalidates precisely the chain of regions enclosing the
+mutated op (see :meth:`RegionFingerprinter.invalidate`).  Per-op attribute
+keys and type strings are interned on first use for the same reason: the
+sort-and-stringify work is paid once per op, not once per hash.
 """
 
 from __future__ import annotations
@@ -20,7 +34,19 @@ from typing import Dict, Hashable, Optional, Tuple
 from ..dialects.rgn import ValOp
 from ..ir.core import Block, Operation, Region, Value
 from ..ir.traits import Pure
+from ..ir.types import Type
 from ..rewrite.pass_manager import FunctionPass
+
+#: Interned ``str(type)`` strings, keyed by the (structurally hashed) type.
+#: Types are immutable value objects, so the table never invalidates.
+_TYPE_STRS: Dict[Type, str] = {}
+
+
+def _type_str(type_: Type) -> str:
+    cached = _TYPE_STRS.get(type_)
+    if cached is None:
+        cached = _TYPE_STRS[type_] = str(type_)
+    return cached
 
 
 class ValueNumbering:
@@ -30,16 +56,33 @@ class ValueNumbering:
     from the operation name, attributes and operand numbers; all other values
     (block arguments, results of impure operations, function arguments)
     receive unique opaque numbers.
+
+    The per-op attribute key (``sorted`` + ``str`` over ``op.attributes``)
+    is cached on first use via :meth:`attribute_key`; it is shared with the
+    region fingerprinter and invalidated together with the fingerprint cache.
     """
 
     def __init__(self):
         self._numbers: Dict[Value, Hashable] = {}
         self._expression_table: Dict[Tuple, Hashable] = {}
+        self._attr_keys: Dict[Operation, Tuple] = {}
         self._next_opaque = 0
 
     def _fresh(self) -> Hashable:
         self._next_opaque += 1
         return ("opaque", self._next_opaque)
+
+    def attribute_key(self, op: Operation) -> Tuple:
+        """The sorted ``(name, str(attr))`` key of ``op``, computed once."""
+        key = self._attr_keys.get(op)
+        if key is None:
+            key = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
+            self._attr_keys[op] = key
+        return key
+
+    def drop_attribute_key(self, op: Operation) -> None:
+        """Invalidate the cached attribute key of ``op`` (mutation hook)."""
+        self._attr_keys.pop(op, None)
 
     def number_of(self, value: Value) -> Hashable:
         if value in self._numbers:
@@ -50,7 +93,7 @@ class ValueNumbering:
         else:
             key = (
                 op.name,
-                tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+                self.attribute_key(op),
                 tuple(self.number_of(o) for o in op.operands),
                 op.results.index(value),
             )
@@ -62,7 +105,13 @@ class ValueNumbering:
 def region_value_number(
     region: Region, numbering: Optional[ValueNumbering] = None
 ) -> Optional[Tuple]:
-    """Value number (fingerprint) of a straight-line region.
+    """Value number (fingerprint) of a straight-line region — *uncached*.
+
+    This is the reference formulation: it refingerprints every nested region
+    recursively on each call.  The pass uses the memoised
+    :class:`RegionFingerprinter` instead; this function survives as the
+    differential oracle (two regions merge iff their reference fingerprints
+    under a shared numbering are equal) and for one-off queries in tests.
 
     Returns None for regions that are not single-block — the paper restricts
     region numbering to straight-line regions, which is not limiting because
@@ -75,7 +124,7 @@ def region_value_number(
     block = region.blocks[0]
     local: Dict[Value, Hashable] = {}
     for i, arg in enumerate(block.arguments):
-        local[arg] = ("arg", i, str(arg.type))
+        local[arg] = ("arg", i, _type_str(arg.type))
 
     def operand_key(value: Value) -> Hashable:
         if value in local:
@@ -92,16 +141,146 @@ def region_value_number(
             nested.append(inner)
         entry = (
             op.name,
-            tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+            numbering.attribute_key(op),
             tuple(operand_key(o) for o in op.operands),
             tuple(nested),
-            tuple(str(r.type) for r in op.results),
+            tuple(_type_str(r.type) for r in op.results),
         )
         fingerprint.append(entry)
         for r in op.results:
             local[r] = ("local", op_index, r.index)
-    arg_signature = tuple(str(a.type) for a in block.arguments)
+    arg_signature = tuple(_type_str(a.type) for a in block.arguments)
     return (arg_signature, tuple(fingerprint))
+
+
+class _CacheEntry:
+    """One memoised region: its fingerprint (or None for non-straight-line
+    regions) plus the size of its subtree — the regions and op entries the
+    uncached formulation would re-hash on every request."""
+
+    __slots__ = ("fingerprint", "subtree_regions", "subtree_entries")
+
+    def __init__(
+        self,
+        fingerprint: Optional[Tuple],
+        subtree_regions: int,
+        subtree_entries: int,
+    ):
+        self.fingerprint = fingerprint
+        self.subtree_regions = subtree_regions
+        self.subtree_entries = subtree_entries
+
+
+class RegionFingerprinter:
+    """Memoised, bottom-up region fingerprints with precise invalidation.
+
+    Fingerprints are cached per :class:`Region` *identity* and computed
+    non-recursively over already-cached nested entries, so each region is
+    hashed once no matter how deep the ``rgn.val`` nesting or how many times
+    a block scan asks again.  Mutations must be reported through
+    :meth:`invalidate`, which drops exactly the chain of regions enclosing
+    the mutated op (nested siblings keep their memo).
+
+    Counters (consumed by the pass statistics and the compile-time guard):
+
+    * ``computed`` — regions actually hashed (cache misses),
+    * ``entries_hashed`` — op entries built while hashing those regions
+      (the unit of fingerprinting work: one tuple of interned keys per op),
+    * ``hits`` — requests answered from the memo,
+    * ``uncached_equivalent`` / ``uncached_entries`` — regions and op
+      entries the *uncached* formulation would have hashed for the same
+      request stream (each top-level request pays its whole subtree again),
+    * ``invalidations`` — cache entries dropped by mutation notifications.
+    """
+
+    def __init__(self, numbering: Optional[ValueNumbering] = None):
+        self.numbering = numbering if numbering is not None else ValueNumbering()
+        self._cache: Dict[Region, _CacheEntry] = {}
+        self.computed = 0
+        self.entries_hashed = 0
+        self.hits = 0
+        self.uncached_equivalent = 0
+        self.uncached_entries = 0
+        self.invalidations = 0
+
+    # -- queries -----------------------------------------------------------
+    def fingerprint(self, region: Region) -> Optional[Tuple]:
+        """Fingerprint of ``region`` (None if not straight-line), memoised."""
+        entry = self._entry(region)
+        self.uncached_equivalent += entry.subtree_regions
+        self.uncached_entries += entry.subtree_entries
+        return entry.fingerprint
+
+    def _entry(self, region: Region) -> _CacheEntry:
+        entry = self._cache.get(region)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        entry = self._compute(region)
+        self._cache[region] = entry
+        return entry
+
+    def _compute(self, region: Region) -> _CacheEntry:
+        self.computed += 1
+        if len(region.blocks) != 1:
+            return _CacheEntry(None, 1, 0)
+        numbering = self.numbering
+        block = region.blocks[0]
+        local: Dict[Value, Hashable] = {}
+        for i, arg in enumerate(block.arguments):
+            local[arg] = ("arg", i, _type_str(arg.type))
+        subtree = 1
+        entries = 0
+        fingerprint = []
+        for op_index, op in enumerate(block):
+            nested = []
+            for nested_region in op.regions:
+                inner = self._entry(nested_region)
+                subtree += inner.subtree_regions
+                entries += inner.subtree_entries
+                if inner.fingerprint is None:
+                    return _CacheEntry(None, subtree, entries)
+                nested.append(inner.fingerprint)
+            operand_keys = []
+            for value in op.operands:
+                key = local.get(value)
+                if key is None:
+                    key = ("outer", numbering.number_of(value))
+                operand_keys.append(key)
+            fingerprint.append(
+                (
+                    op.name,
+                    numbering.attribute_key(op),
+                    tuple(operand_keys),
+                    tuple(nested),
+                    tuple(_type_str(r.type) for r in op.results),
+                )
+            )
+            entries += 1
+            self.entries_hashed += 1
+            for r in op.results:
+                local[r] = ("local", op_index, r.index)
+        arg_signature = tuple(_type_str(a.type) for a in block.arguments)
+        return _CacheEntry((arg_signature, tuple(fingerprint)), subtree, entries)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate(self, op: Operation) -> None:
+        """Mutation notification: ``op`` changed (operands rewired, erased,
+        inserted or its attributes edited).
+
+        Drops the memo for every region on the chain enclosing ``op`` — each
+        of their fingerprints embeds an entry derived from it — plus the
+        op's cached attribute key.  Regions *nested inside* ``op`` and
+        sibling regions are untouched; their fingerprints cannot have
+        changed.
+        """
+        self.numbering.drop_attribute_key(op)
+        region = op.parent_region()
+        while region is not None:
+            if self._cache.pop(region, None) is not None:
+                self.invalidations += 1
+            parent = region.parent
+            region = parent.parent_region() if parent is not None else None
 
 
 class RegionGVNPass(FunctionPass):
@@ -111,16 +290,35 @@ class RegionGVNPass(FunctionPass):
     trivially dominates the later one), which covers the pattern produced by
     the lp → rgn lowering where all arms of one case statement become
     adjacent ``rgn.val`` definitions.
+
+    Fingerprints come from a per-function :class:`RegionFingerprinter`; a
+    merge notifies it about every op it touches (the users rewired by the
+    replacement and the chain enclosing the erased definition), so the memo
+    stays exact while everything untouched keeps its hash.
     """
 
     name = "region-gvn"
 
     def run_on_function(self, func) -> None:
         merged = 0
-        numbering = ValueNumbering()
+        fingerprinter = RegionFingerprinter()
         for block in self._all_blocks(func):
-            merged += self._run_on_block(block, numbering)
+            merged += self._run_on_block(block, fingerprinter)
         self.statistics.bump("regions-merged", merged)
+        self.statistics.bump_meter("fingerprints-computed", fingerprinter.computed)
+        self.statistics.bump_meter("fingerprint-cache-hits", fingerprinter.hits)
+        self.statistics.bump_meter(
+            "fingerprint-entries-hashed", fingerprinter.entries_hashed
+        )
+        self.statistics.bump_meter(
+            "fingerprints-uncached-equivalent", fingerprinter.uncached_equivalent
+        )
+        self.statistics.bump_meter(
+            "fingerprint-entries-uncached", fingerprinter.uncached_entries
+        )
+        self.statistics.bump_meter(
+            "fingerprint-invalidations", fingerprinter.invalidations
+        )
 
     def _all_blocks(self, func):
         blocks = []
@@ -129,7 +327,9 @@ class RegionGVNPass(FunctionPass):
                 blocks.extend(region.blocks)
         return blocks
 
-    def _run_on_block(self, block: Block, numbering: ValueNumbering) -> int:
+    def _run_on_block(
+        self, block: Block, fingerprinter: RegionFingerprinter
+    ) -> int:
         seen: Dict[Tuple, Operation] = {}
         merged = 0
         # Block iteration captures the next link before yielding, so erasing
@@ -138,13 +338,20 @@ class RegionGVNPass(FunctionPass):
             if not isinstance(op, ValOp):
                 continue
             self.statistics.bump_meter("regions-scanned")
-            fingerprint = region_value_number(op.body_region, numbering)
+            fingerprint = fingerprinter.fingerprint(op.body_region)
             if fingerprint is None:
                 continue
             existing = seen.get(fingerprint)
             if existing is None:
                 seen[fingerprint] = op
                 continue
+            # The users' operands are about to be rewired and the enclosing
+            # chain loses this definition: notify before mutating, while the
+            # ancestor links are still intact.
+            for result in op.results:
+                for user in result.users():
+                    fingerprinter.invalidate(user)
+            fingerprinter.invalidate(op)
             op.replace_all_uses_with(existing)
             op.erase()
             merged += 1

@@ -1,0 +1,305 @@
+"""Tests for the memoised region fingerprints (PR 4).
+
+Covers the invalidation contract of
+:class:`repro.transforms.region_gvn.RegionFingerprinter` — mutating an op
+drops exactly the memo of the enclosing region chain — and checks the
+memoised fingerprints against the uncached :func:`region_value_number`
+oracle over random mutation interleavings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import arith, lp, rgn
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp
+from repro.ir.attributes import IntegerAttr
+from repro.ir.builder import Builder, InsertionPoint
+from repro.ir.types import FunctionType, i1
+from repro.rewrite.pass_manager import PassManager
+from repro.transforms.region_gvn import (
+    RegionFingerprinter,
+    RegionGVNPass,
+    ValueNumbering,
+    region_value_number,
+)
+
+
+def new_func(module, name, arg_types):
+    func = FuncOp(name, FunctionType(arg_types, []))
+    module.append(func)
+    return func, Builder(InsertionPoint.at_end(func.entry_block))
+
+
+def val_with_ints(builder, values):
+    """A ``rgn.val`` returning the last of ``values`` (as ``lp.int``s)."""
+    val = builder.create(rgn.ValOp)
+    inner = Builder(InsertionPoint.at_end(val.body_block))
+    result = None
+    for v in values:
+        result = inner.create(lp.IntOp, v)
+    inner.create(lp.ReturnOp, result.result())
+    return val
+
+
+def nested_tower(builder, depth, payload=2):
+    """``depth`` nested rgn.vals: each level's body holds the next level."""
+    def build(b, remaining):
+        val = b.create(rgn.ValOp)
+        inner = Builder(InsertionPoint.at_end(val.body_block))
+        for v in range(payload):
+            inner.create(lp.IntOp, v)
+        if remaining > 1:
+            build(inner, remaining - 1)
+        inner.create(lp.UnreachableOp)
+        return val
+
+    return build(builder, depth)
+
+
+class TestFingerprintMemo:
+    def test_repeated_queries_hit_the_cache(self):
+        module = ModuleOp()
+        _, builder = new_func(module, "f", [i1])
+        val = val_with_ints(builder, [1, 2, 3])
+        fp = RegionFingerprinter()
+        first = fp.fingerprint(val.body_region)
+        assert fp.computed == 1 and fp.hits == 0
+        second = fp.fingerprint(val.body_region)
+        assert second == first
+        assert fp.computed == 1 and fp.hits == 1
+
+    def test_nested_regions_hashed_once(self):
+        module = ModuleOp()
+        _, builder = new_func(module, "f", [i1])
+        outer = nested_tower(builder, depth=4)
+        fp = RegionFingerprinter()
+        fp.fingerprint(outer.body_region)
+        # 4 regions in the tower, each computed exactly once.
+        assert fp.computed == 4
+        # Re-query every nested region: all hits, nothing recomputed.
+        op = outer
+        while True:
+            assert fp.fingerprint(op.body_region) is not None
+            inner = [o for o in op.body_block if isinstance(o, rgn.ValOp)]
+            if not inner:
+                break
+            op = inner[0]
+        assert fp.computed == 4
+
+    def test_uncached_equivalent_counts_subtree_per_request(self):
+        module = ModuleOp()
+        _, builder = new_func(module, "f", [i1])
+        outer = nested_tower(builder, depth=3)
+        fp = RegionFingerprinter()
+        fp.fingerprint(outer.body_region)
+        assert fp.uncached_equivalent == 3  # whole subtree on first request
+        fp.fingerprint(outer.body_region)
+        assert fp.uncached_equivalent == 6  # and again per repeated request
+
+    def test_multi_block_region_fingerprints_none(self):
+        module = ModuleOp()
+        func, builder = new_func(module, "f", [i1])
+        val = builder.create(rgn.ValOp)
+        val.body_region.add_block()  # second block: not straight-line
+        fp = RegionFingerprinter()
+        assert fp.fingerprint(val.body_region) is None
+        assert fp.fingerprint(val.body_region) is None
+        assert fp.computed == 1  # the None verdict is memoised too
+
+
+class TestInvalidation:
+    def test_mutating_nested_op_drops_exactly_the_enclosing_chain(self):
+        module = ModuleOp()
+        _, builder = new_func(module, "f", [i1])
+        tower = nested_tower(builder, depth=4)
+        sibling = val_with_ints(builder, [7, 8])
+        fp = RegionFingerprinter()
+        fp.fingerprint(tower.body_region)
+        fp.fingerprint(sibling.body_region)
+        assert fp.computed == 5
+
+        # Find the innermost rgn.val and mutate an op inside its body.
+        op = tower
+        chain = [op]
+        while True:
+            inner = [o for o in op.body_block if isinstance(o, rgn.ValOp)]
+            if not inner:
+                break
+            op = inner[0]
+            chain.append(op)
+        victim = op.body_block.first_op  # an lp.int in the innermost body
+        fp.invalidate(victim)
+        # Exactly the chain of enclosing regions was dropped (4 levels).
+        assert fp.invalidations == len(chain)
+
+        # The sibling still hits; the chain recomputes.
+        before = fp.computed
+        fp.fingerprint(sibling.body_region)
+        assert fp.computed == before
+        fp.fingerprint(tower.body_region)
+        assert fp.computed == before + len(chain)
+
+    def test_invalidation_reflects_the_mutation(self):
+        module = ModuleOp()
+        _, builder = new_func(module, "f", [i1])
+        a = val_with_ints(builder, [1, 2])
+        b = val_with_ints(builder, [9, 1, 2])
+        fp = RegionFingerprinter()
+        assert fp.fingerprint(a.body_region) != fp.fingerprint(b.body_region)
+        # Erase the (unused) leading lp.int of b: the bodies become identical.
+        leading = b.body_block.first_op
+        fp.invalidate(leading)
+        leading.erase()
+        assert fp.fingerprint(a.body_region) == fp.fingerprint(b.body_region)
+
+    def test_attribute_key_dropped_with_the_chain(self):
+        module = ModuleOp()
+        _, builder = new_func(module, "f", [i1])
+        a = val_with_ints(builder, [5])
+        fp = RegionFingerprinter()
+        first = fp.fingerprint(a.body_region)
+        # Mutate the constant's attribute; the cached attr key must go too.
+        const = a.body_block.first_op
+        fp.invalidate(const)
+        const.set_attr("value", IntegerAttr(6))
+        changed = fp.fingerprint(a.body_region)
+        assert changed != first
+
+
+class TestPassUsesCache:
+    def test_pass_merges_and_reports_cache_meters(self):
+        module = ModuleOp()
+        func, builder = new_func(module, "f", [i1])
+        a = val_with_ints(builder, [7])
+        b = val_with_ints(builder, [7])
+        sel = builder.create(
+            arith.SelectOp,
+            func.entry_block.arguments[0],
+            a.result(),
+            b.result(),
+        )
+        builder.create(rgn.RunOp, sel.result())
+        pm = PassManager([RegionGVNPass()])
+        pm.run(module)
+        stats = pm.statistics["region-gvn"]
+        assert stats.get("regions-merged") == 1
+        assert stats.get("fingerprints-computed") >= 2
+        # The merge notified the enclosing chains; nothing above the merged
+        # vals was memoised, so no cached entry needed dropping.
+        assert stats.get("fingerprint-invalidations") == 0
+        vals = [op for op in func.walk() if isinstance(op, rgn.ValOp)]
+        assert len(vals) == 1
+
+
+# -- hypothesis: memoised fingerprints vs the uncached oracle ----------------
+
+
+@st.composite
+def tower_specs(draw):
+    """A list of (depth, payload-values) specs for sibling towers."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    specs = []
+    for _ in range(n):
+        depth = draw(st.integers(min_value=1, max_value=3))
+        payload = draw(
+            st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=3)
+        )
+        specs.append((depth, tuple(payload)))
+    return specs
+
+
+def build_suite(specs):
+    module = ModuleOp()
+    func, builder = new_func(module, "f", [i1])
+    tops = []
+    for depth, payload in specs:
+        def build(b, remaining):
+            val = b.create(rgn.ValOp)
+            inner = Builder(InsertionPoint.at_end(val.body_block))
+            for v in payload:
+                inner.create(lp.IntOp, v)
+            if remaining > 1:
+                build(inner, remaining - 1)
+            inner.create(lp.UnreachableOp)
+            return val
+
+        tops.append(build(builder, depth))
+    builder.create(lp.UnreachableOp)
+    return module, func, tops
+
+
+def all_val_ops(func):
+    return [op for op in func.walk() if isinstance(op, rgn.ValOp)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    specs=tower_specs(),
+    mutations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.booleans()),
+        max_size=4,
+    ),
+)
+def test_memoised_partition_matches_uncached_oracle(specs, mutations):
+    """After arbitrary erase interleavings (each reported via invalidate),
+    the equality partition induced by the memoised fingerprints matches the
+    partition of the uncached ``region_value_number`` oracle."""
+    module, func, _ = build_suite(specs)
+    fp = RegionFingerprinter()
+    # Warm the memo on everything.
+    for op in all_val_ops(func):
+        fp.fingerprint(op.body_region)
+    # Random mutation interleavings: erase a leaf lp.int somewhere, notify.
+    for index, query_between in mutations:
+        ints = [
+            op
+            for op in func.walk()
+            if isinstance(op, lp.IntOp) and not op.results_used()
+        ]
+        if not ints:
+            break
+        victim = ints[index % len(ints)]
+        fp.invalidate(victim)
+        victim.erase()
+        if query_between:
+            for op in all_val_ops(func):
+                fp.fingerprint(op.body_region)
+
+    vals = all_val_ops(func)
+    memoised = [fp.fingerprint(op.body_region) for op in vals]
+    oracle_numbering = ValueNumbering()
+    oracle = [
+        region_value_number(op.body_region, oracle_numbering) for op in vals
+    ]
+    for i in range(len(vals)):
+        for j in range(len(vals)):
+            assert (memoised[i] == memoised[j]) == (oracle[i] == oracle[j]), (
+                f"regions {i} and {j}: memoised "
+                f"{'equal' if memoised[i] == memoised[j] else 'distinct'}, "
+                f"oracle {'equal' if oracle[i] == oracle[j] else 'distinct'}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=tower_specs())
+def test_pass_result_matches_prememoisation_semantics(specs):
+    """The memoised pass merges exactly the regions the uncached fingerprint
+    equality would merge (PR 3 semantics preserved)."""
+    module, func, _ = build_suite(specs)
+    # Expected merge count: group the *top-level* val fingerprints (the pass
+    # only merges within one block; all tops share the entry block).
+    numbering = ValueNumbering()
+    groups = {}
+    tops = [op for op in func.entry_block if isinstance(op, rgn.ValOp)]
+    for op in tops:
+        key = region_value_number(op.body_region, numbering)
+        groups.setdefault(key, []).append(op)
+    # Nested vals merge within their own blocks too; count per block.
+    expected_top_merges = sum(len(g) - 1 for g in groups.values())
+
+    pm = PassManager([RegionGVNPass()])
+    pm.run(module)
+    remaining_tops = [op for op in func.entry_block if isinstance(op, rgn.ValOp)]
+    assert len(tops) - len(remaining_tops) == expected_top_merges

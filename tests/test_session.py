@@ -1,0 +1,169 @@
+"""Tests for the compilation session layer (PR 4).
+
+Covers :class:`repro.backend.pipeline.CompilationSession` (content-keyed
+frontend cache with hit/miss accounting, byte-identical IR vs uncached
+compiles), the shared :func:`repro.eval.harness.measurement_options`
+helper, the reusable :class:`repro.backend.lowering_context.LoweringContext`
+and the process-sharded evaluation harness (``jobs > 1`` must produce
+byte-identical figure output).
+"""
+
+import pytest
+
+from repro.backend.lowering_context import LabelScope, LoweringContext
+from repro.backend.pipeline import (
+    CompilationSession,
+    MlirCompiler,
+    run_baseline,
+    run_mlir,
+    run_reference,
+)
+from repro.eval.benchmarks import benchmark_sources
+from repro.eval.figures import figure9_report, figure10_report, rc_report
+from repro.eval.harness import EvaluationHarness, measurement_options
+from repro.ir.printer import print_module
+
+SOURCES = benchmark_sources(
+    {
+        "binarytrees": {"depth": 3},
+        "digits": {"reps": 2, "span": 5},
+        "filter": {"length": 8},
+    }
+)
+
+TINY = "def main : Nat := 1 + 2"
+
+
+class TestCompilationSession:
+    def test_hit_miss_accounting(self):
+        session = CompilationSession()
+        assert session.stats == {"hits": 0, "misses": 0, "entries": 0}
+        session.frontend(TINY)
+        assert session.stats == {"hits": 0, "misses": 1, "entries": 1}
+        session.frontend(TINY)
+        assert session.stats == {"hits": 1, "misses": 1, "entries": 1}
+        session.frontend("def main : Nat := 3")
+        assert session.stats == {"hits": 1, "misses": 2, "entries": 2}
+
+    def test_frontend_returns_fresh_copies(self):
+        session = CompilationSession()
+        first = session.frontend(TINY)
+        second = session.frontend(TINY)
+        assert first is not second
+        # Mutating one copy must not poison the cache.
+        first.functions.clear()
+        third = session.frontend(TINY)
+        assert third.functions
+
+    def test_cached_compile_ir_is_byte_identical(self):
+        session = CompilationSession()
+        source = SOURCES["digits"]
+        options = measurement_options("rgn")
+        uncached = MlirCompiler(options).compile(source)
+        warm_miss = MlirCompiler(options, session=session).compile(source)
+        warm_hit = MlirCompiler(options, session=session).compile(source)
+        assert session.hits == 1 and session.misses == 1
+        assert (
+            print_module(uncached.cfg_module)
+            == print_module(warm_miss.cfg_module)
+            == print_module(warm_hit.cfg_module)
+        )
+
+    def test_session_shared_across_pipeline_entry_points(self):
+        session = CompilationSession()
+        source = SOURCES["binarytrees"]
+        expected = run_reference(source, session=session)
+        baseline = run_baseline(source, session=session)
+        mlir = run_mlir(source, session=session)
+        assert baseline.value == expected and mlir.value == expected
+        # One frontend miss, two hits: all three runs shared the parse.
+        assert session.stats == {"hits": 2, "misses": 1, "entries": 1}
+
+    def test_session_owns_one_lowering_context(self):
+        session = CompilationSession()
+        context = session.lowering_context
+        for name in ("binarytrees", "filter"):
+            MlirCompiler(measurement_options("rgn"), session=session).compile(
+                SOURCES[name]
+            )
+        assert session.lowering_context is context
+        assert context.modules_lowered == 2
+
+
+class TestMeasurementOptions:
+    def test_default_variant(self):
+        options = measurement_options("default")
+        assert options.verify_each is False
+        assert options.rewrite_engine == "worklist"
+        assert options.run_rgn_optimizations is True
+
+    def test_named_variant_and_engine(self):
+        options = measurement_options("rgn", rewrite_engine="rescan")
+        assert options.run_lambda_simplifier is False
+        assert options.run_rgn_optimizations is True
+        assert options.rewrite_engine == "rescan"
+        assert options.verify_each is False
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            measurement_options("no-such-variant")
+
+
+class TestLoweringContext:
+    def test_function_types_are_interned(self):
+        context = LoweringContext()
+        assert context.boxed_fn_type(2) is context.boxed_fn_type(2)
+        assert context.boxed_fn_type(2) is not context.boxed_fn_type(3)
+        assert context.box_arg_types(4) is context.box_arg_types(4)
+        assert len(context.box_arg_types(4)) == 4
+
+    def test_symbol_table_resets_per_module(self):
+        session = CompilationSession()
+        context = session.lowering_context
+        MlirCompiler(measurement_options("rgn"), session=session).compile(
+            SOURCES["filter"]
+        )
+        assert "main" in context.symbols
+        first_symbols = dict(context.symbols)
+        MlirCompiler(measurement_options("rgn"), session=session).compile(TINY)
+        assert "main" in context.symbols
+        assert context.symbols["main"] is not first_symbols["main"]
+
+    def test_label_scope_chains_without_leaking(self):
+        outer = LabelScope()
+        sentinel_a, sentinel_b = object(), object()
+        outer.define("j1", sentinel_a)
+        child = outer.child()
+        child.define("j2", sentinel_b)
+        sibling = outer.child()
+        assert child.lookup("j1") is sentinel_a
+        assert child.lookup("j2") is sentinel_b
+        assert sibling.lookup("j2") is None  # no leak across siblings
+        assert outer.lookup("j2") is None  # no leak upward
+        # Shadowing: a child binding wins over the parent's.
+        shadow = outer.child()
+        shadow.define("j1", sentinel_b)
+        assert shadow.lookup("j1") is sentinel_b
+        assert outer.lookup("j1") is sentinel_a
+
+
+class TestShardedHarness:
+    def test_jobs2_figures_byte_identical_to_jobs1(self):
+        sizes = {
+            "binarytrees": {"depth": 3},
+            "digits": {"reps": 2, "span": 5},
+            "filter": {"length": 8},
+        }
+        sequential = EvaluationHarness(sizes, jobs=1)
+        sharded = EvaluationHarness(sizes, jobs=2)
+        assert figure9_report(sequential) == figure9_report(sharded)
+        assert figure10_report(sequential) == figure10_report(sharded)
+        assert rc_report(sequential) == rc_report(sharded)
+
+    def test_sequential_runs_share_one_session(self):
+        sizes = {"binarytrees": {"depth": 3}}
+        harness = EvaluationHarness(sizes, jobs=1)
+        harness.figure9()
+        # baseline + default of the same source: one miss, one hit.
+        assert harness.session.stats["misses"] == 1
+        assert harness.session.stats["hits"] >= 1
