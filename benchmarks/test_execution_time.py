@@ -1,0 +1,127 @@
+"""Execution-engine guard: the bytecode VM vs the tree-walking oracles.
+
+Asserts the acceptance criteria of the execution-engine work:
+
+* differential — on the benchmark suite both engines produce identical
+  results, execution metrics and heap statistics (the figure suite is
+  diffed, so "identical" means byte-identical figures),
+* efficiency — on the largest benchmark (by executed cost) the VM cuts
+  execution wall time at least 2x versus the tree-walker,
+* scale — the new ``large`` problem-size tier actually runs under the VM
+  and is roughly an order of magnitude more work than the default tier.
+"""
+
+import time
+
+import pytest
+
+from repro.backend.pipeline import CompilationSession, MlirCompiler
+from repro.eval.benchmarks import (
+    DEFAULT_SIZES,
+    LARGE_SIZES,
+    SIZE_TIERS,
+    benchmark_sources,
+)
+from repro.eval.harness import measurement_options
+from repro.interp.bytecode import VirtualMachine, compile_cfg_module
+from repro.interp.cfg_interp import CfgInterpreter
+
+
+@pytest.fixture(scope="module")
+def compiled_suite(sources):
+    """Every benchmark compiled once (default pipeline, reduced sizes)."""
+    session = CompilationSession()
+    compiler = MlirCompiler(measurement_options("default"), session=session)
+    return {
+        name: compiler.compile(source).cfg_module
+        for name, source in sources.items()
+    }
+
+
+class TestEngineDifferential:
+    def test_identical_results_metrics_and_heap_stats(self, compiled_suite):
+        for name, module in compiled_suite.items():
+            tree = CfgInterpreter(module).run_main()
+            vm = VirtualMachine(compile_cfg_module(module)).run_main()
+            assert vm.value == tree.value, name
+            assert vm.metrics.counts == tree.metrics.counts, name
+            assert vm.heap_stats == tree.heap_stats, name
+
+
+class TestExecutionSpeed:
+    def test_vm_beats_tree_2x_on_largest_benchmark(self):
+        """≥2x wall-time cut on the suite's largest benchmark (by cost).
+
+        Uses the full default sizes (not the reduced benchmark sizes): the
+        guard protects the figure-suite execution phase, which runs at
+        default sizes.  Best-of-two timings keep a loaded CI runner from
+        flaking the ratio; the observed speedup is 3.5-5x.
+        """
+        session = CompilationSession()
+        compiler = MlirCompiler(measurement_options("default"), session=session)
+        modules = {
+            name: compiler.compile(source).cfg_module
+            for name, source in benchmark_sources(DEFAULT_SIZES).items()
+        }
+        costs = {
+            name: VirtualMachine(compile_cfg_module(module))
+            .run_main()
+            .metrics.total_cost()
+            for name, module in modules.items()
+        }
+        largest = max(costs, key=costs.get)
+        module = modules[largest]
+        bytecode = compile_cfg_module(module)
+        tree_seconds = min(
+            CfgInterpreter(module).run_main().metrics.wall_time_seconds
+            for _ in range(2)
+        )
+        vm_seconds = min(
+            VirtualMachine(bytecode).run_main().metrics.wall_time_seconds
+            for _ in range(2)
+        )
+        assert vm_seconds > 0
+        ratio = tree_seconds / vm_seconds
+        assert ratio >= 2.0, (
+            f"{largest}: tree {tree_seconds * 1e3:.1f}ms vs "
+            f"vm {vm_seconds * 1e3:.1f}ms — speedup {ratio:.2f}x < 2x"
+        )
+
+    def test_bytecode_compilation_is_cheap(self):
+        """Translating to bytecode must stay well under one execution."""
+        source = benchmark_sources(
+            {"rbmap_checkpoint": DEFAULT_SIZES["rbmap_checkpoint"]}
+        )["rbmap_checkpoint"]
+        module = MlirCompiler(measurement_options("default")).compile(source).cfg_module
+        start = time.perf_counter()
+        bytecode = compile_cfg_module(module)
+        compile_seconds = time.perf_counter() - start
+        run_seconds = (
+            VirtualMachine(bytecode).run_main().metrics.wall_time_seconds
+        )
+        assert compile_seconds < run_seconds, (
+            f"bytecode compile {compile_seconds * 1e3:.1f}ms exceeds "
+            f"execution {run_seconds * 1e3:.1f}ms"
+        )
+
+
+class TestLargeSizeTier:
+    def test_tier_registry(self):
+        assert SIZE_TIERS["default"] is DEFAULT_SIZES
+        assert SIZE_TIERS["large"] is LARGE_SIZES
+        assert set(LARGE_SIZES) == set(DEFAULT_SIZES)
+
+    def test_large_tier_runs_under_the_vm(self):
+        # One representative large benchmark end-to-end, and its cost must
+        # dwarf the default tier's (the tier exists to scale the workload).
+        name = "rbmap_checkpoint"
+        session = CompilationSession()
+        compiler = MlirCompiler(measurement_options("default"), session=session)
+
+        def cost(sizes):
+            source = benchmark_sources({name: sizes[name]})[name]
+            module = compiler.compile(source).cfg_module
+            result = VirtualMachine(session.bytecode_for(module)).run_main()
+            return result.metrics.total_cost()
+
+        assert cost(LARGE_SIZES) >= 5 * cost(DEFAULT_SIZES)

@@ -8,6 +8,7 @@ Usage::
     python -m repro program.lean --emit c          # print the C artifact
     python -m repro program.lean --emit lp         # print the lp module
     python -m repro program.lean --emit cfg        # print the final CFG module
+    python -m repro program.lean --execution-engine tree   # tree-walking oracle
     python -m repro - < program.lean               # read from stdin
 
 The ``--variant`` flag selects the pipeline configuration: ``baseline`` is
@@ -31,8 +32,7 @@ from .backend.pipeline import (
     MlirCompiler,
     PipelineOptions,
 )
-from .interp.cfg_interp import CfgInterpreter
-from .interp.rc_interp import RcInterpreter
+from .interp.bytecode import EXECUTION_ENGINES
 from .ir.printer import print_module
 from .rewrite.driver import ENGINES
 
@@ -103,6 +103,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(worklist is the default; rescan is the differential baseline)",
     )
     parser.add_argument(
+        "--execution-engine", choices=EXECUTION_ENGINES, default="vm",
+        help="how the compiled program executes: the register-bytecode VM "
+        "(default) or the tree-walking oracle interpreter",
+    )
+    parser.add_argument(
         "--emit", choices=("c", "lp", "cfg"), default=None,
         help="print a compilation artifact instead of running",
     )
@@ -133,7 +138,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.variant == "baseline":
             compiler = BaselineCompiler(
-                rc_mode=args.rc_mode or "naive", session=session
+                rc_mode=args.rc_mode or "naive",
+                session=session,
+                execution_engine=args.execution_engine,
             )
             artifacts = compiler.compile(source)
             if args.emit:
@@ -147,9 +154,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 0
             if args.verbose:
                 _print_rc_report(artifacts.rc_report)
-            result = RcInterpreter(artifacts.rc_program).run_main(
-                check_heap=check_heap
-            )
+            result = compiler.execute(artifacts.rc_program, check_heap=check_heap)
         else:
             options = (
                 PipelineOptions()
@@ -160,8 +165,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 options.rc_mode = args.rc_mode
             if args.rewrite_engine is not None:
                 options.rewrite_engine = args.rewrite_engine
+            options.execution_engine = args.execution_engine
             options.verbose_passes = args.verbose
-            artifacts = MlirCompiler(options, session=session).compile(source)
+            compiler = MlirCompiler(options, session=session)
+            artifacts = compiler.compile(source)
             if args.emit == "c":
                 print(
                     "error: the lp+rgn pipeline does not emit C; "
@@ -177,9 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 0
             if args.verbose:
                 _print_rc_report(artifacts.rc_report)
-            result = CfgInterpreter(artifacts.cfg_module).run_main(
-                check_heap=check_heap
-            )
+            result = compiler.execute(artifacts.cfg_module, check_heap=check_heap)
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"error: {error}", file=sys.stderr)
         return 1

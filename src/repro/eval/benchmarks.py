@@ -405,6 +405,28 @@ DEFAULT_SIZES: Dict[str, Dict[str, int]] = {
     "unionfind": {"elements": 40, "unions": 30},
 }
 
+#: The larger problem-size tier unlocked by the bytecode execution engine:
+#: roughly an order of magnitude more executed operations per benchmark
+#: than the defaults — too slow to be pleasant under the tree-walkers,
+#: comfortable on the VM (``--sizes large`` in the figure harness).
+LARGE_SIZES: Dict[str, Dict[str, int]] = {
+    "binarytrees": {"depth": 10},
+    "binarytrees-int": {"depth": 10},
+    "const_fold": {"depth": 5, "reps": 36},
+    "deriv": {"reps": 18},
+    "digits": {"reps": 80, "span": 32},
+    "filter": {"length": 400},
+    "qsort": {"size": 96},
+    "rbmap_checkpoint": {"inserts": 220},
+    "unionfind": {"elements": 300, "unions": 240},
+}
+
+#: Named size tiers selectable from the harness / figure CLI.
+SIZE_TIERS: Dict[str, Dict[str, Dict[str, int]]] = {
+    "default": DEFAULT_SIZES,
+    "large": LARGE_SIZES,
+}
+
 
 _GENERATORS = {
     "binarytrees": _binarytrees,

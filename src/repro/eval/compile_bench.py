@@ -24,6 +24,7 @@ Usage::
     python -m repro.eval.compile_bench --differential   # engine comparison
     python -m repro.eval.compile_bench --baseline BENCH_compile.json
     python -m repro.eval.compile_bench --jobs 4         # shard across processes
+    python -m repro.eval.compile_bench --exec-table     # VM vs tree execution
 """
 
 from __future__ import annotations
@@ -37,6 +38,8 @@ from ..backend.pipeline import CompilationSession, MlirCompiler
 from ..dialects import lp, rgn
 from ..dialects.builtin import ModuleOp
 from ..dialects.func import FuncOp
+from ..interp.bytecode import EXECUTION_ENGINES, VirtualMachine, compile_cfg_module
+from ..interp.cfg_interp import CfgInterpreter
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.printer import print_module
 from ..ir.types import FunctionType, i1
@@ -177,6 +180,7 @@ def measure_benchmark(
     engine: str = "worklist",
     variant: str = "rgn",
     session: Optional[CompilationSession] = None,
+    execution_engine: Optional[str] = None,
 ) -> CompileMeasurement:
     """Compile one benchmark and record phase timings plus driver work.
 
@@ -185,7 +189,9 @@ def measure_benchmark(
     """
     import time
 
-    options = measurement_options(variant, rewrite_engine=engine)
+    options = measurement_options(
+        variant, rewrite_engine=engine, execution_engine=execution_engine
+    )
     start = time.perf_counter()
     artifacts = MlirCompiler(options, session=session).compile(source)
     total = time.perf_counter() - start
@@ -212,10 +218,16 @@ def measure_benchmark(
 
 
 def _suite_worker(task) -> CompileMeasurement:
-    """One shard of :func:`run_suite`: (name, source, engine, variant)."""
-    name, source, engine, variant = task
+    """One shard of :func:`run_suite`:
+    (name, source, engine, variant, execution_engine)."""
+    name, source, engine, variant, execution_engine = task
     return measure_benchmark(
-        name, source, engine=engine, variant=variant, session=CompilationSession()
+        name,
+        source,
+        engine=engine,
+        variant=variant,
+        session=CompilationSession(),
+        execution_engine=execution_engine,
     )
 
 
@@ -226,6 +238,7 @@ def run_suite(
     variant: str = "rgn",
     include_stress: bool = True,
     jobs: int = 1,
+    execution_engine: Optional[str] = None,
 ) -> List[CompileMeasurement]:
     """Measure every benchmark (plus the stress module) per engine.
 
@@ -238,7 +251,7 @@ def run_suite(
     """
     sources = benchmark_sources(sizes or DEFAULT_SIZES)
     tasks = [
-        (name, source, engine, variant)
+        (name, source, engine, variant, execution_engine)
         for engine in engines
         for name, source in sources.items()
     ]
@@ -454,6 +467,57 @@ def compile_report(
     return "\n".join(lines)
 
 
+def execution_table(
+    sizes: Optional[Dict[str, Dict[str, int]]] = None,
+    *,
+    variant: str = "default",
+    repeats: int = 2,
+) -> str:
+    """Execution wall-time table: the bytecode VM vs the tree-walking oracle.
+
+    Each benchmark is compiled once; the same CFG module is then executed
+    by both engines (best of ``repeats`` runs each), so the table isolates
+    pure execution time.  CI appends this to the uploaded timings artifact
+    — it is the regression surface for the execution-engine work, the way
+    the phase table is for compile time.
+    """
+    sources = benchmark_sources(sizes or DEFAULT_SIZES)
+    session = CompilationSession()
+    options = measurement_options(variant)
+    title = "Execution time: register-bytecode VM vs tree-walking oracle"
+    lines = [title, "=" * len(title)]
+    header = f"{'benchmark':18s} {'tree ms':>9s} {'vm ms':>9s} {'speedup':>8s}"
+    lines.append(header)
+    total_tree = 0.0
+    total_vm = 0.0
+    for name, source in sources.items():
+        module = MlirCompiler(options, session=session).compile(source).cfg_module
+        tree_seconds = min(
+            CfgInterpreter(module).run_main().metrics.wall_time_seconds
+            for _ in range(repeats)
+        )
+        bytecode = session.bytecode_for(module)
+        vm_seconds = min(
+            VirtualMachine(bytecode).run_main().metrics.wall_time_seconds
+            for _ in range(repeats)
+        )
+        total_tree += tree_seconds
+        total_vm += vm_seconds
+        speedup = tree_seconds / vm_seconds if vm_seconds else float("inf")
+        lines.append(
+            f"{name:18s} {tree_seconds * 1e3:9.2f} {vm_seconds * 1e3:9.2f}"
+            f" {speedup:7.2f}x"
+        )
+    lines.append("-" * len(header))
+    total_speedup = total_tree / total_vm if total_vm else float("inf")
+    lines.append(
+        f"{'total':18s} {total_tree * 1e3:9.2f} {total_vm * 1e3:9.2f}"
+        f" {total_speedup:7.2f}x"
+    )
+    lines.append(f"(variant={variant}, sizes=default, best of {repeats} runs)")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -461,8 +525,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write BENCH_compile.json-style output to PATH",
     )
     parser.add_argument(
-        "--variant", default="rgn",
-        help="pipeline variant to compile with (default: rgn)",
+        "--variant", default=None,
+        help="pipeline variant to compile with (default: rgn for the "
+        "compile report, default for --exec-table — the configuration "
+        "the figure suite executes)",
     )
     parser.add_argument(
         "--differential", action="store_true",
@@ -478,12 +544,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="shard the suite across N worker processes "
         "(one benchmark per worker; default: sequential)",
     )
+    parser.add_argument(
+        "--exec-table", action="store_true",
+        help="print the execution wall-time table (bytecode VM vs the "
+        "tree-walking oracle) instead of the compile-time report",
+    )
+    parser.add_argument(
+        "--execution-engine", choices=EXECUTION_ENGINES, default=None,
+        help="execution engine configured on the compile options (compile "
+        "benchmarks never execute; with --exec-table, both engines are "
+        "always compared)",
+    )
     args = parser.parse_args(argv)
+
+    if args.exec_table:
+        print(execution_table(variant=args.variant or "default"))
+        return 0
+    if args.variant is None:
+        args.variant = "rgn"
 
     if args.json:
         # Measure once; --baseline additionally reports on the same run.
         measurements = run_suite(
-            engines=("worklist", "rescan"), variant=args.variant, jobs=args.jobs
+            engines=("worklist", "rescan"),
+            variant=args.variant,
+            jobs=args.jobs,
+            execution_engine=args.execution_engine,
         )
         payload = emit_json(
             args.json, variant=args.variant, measurements=measurements

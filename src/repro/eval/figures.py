@@ -9,6 +9,8 @@ Usage::
     python -m repro.eval.figures --figure compile
     python -m repro.eval.figures --all
     python -m repro.eval.figures --all --jobs 4   # shard across processes
+    python -m repro.eval.figures --figure 9 --sizes large       # big-tier run
+    python -m repro.eval.figures --all --execution-engine tree  # oracle engine
 
 Each report prints the same rows/series as the paper's figure; absolute
 numbers differ (the substrate is a cost-model interpreter, not the authors'
@@ -21,6 +23,8 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from ..interp.bytecode import EXECUTION_ENGINES
+from .benchmarks import SIZE_TIERS
 from .harness import EvaluationHarness, FigureData
 
 #: Paper-reported speedups (Figure 9): lp+rgn backend over leanc.
@@ -215,10 +219,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="shard measurement across N worker processes (one benchmark "
         "per worker); the figure output is byte-identical to --jobs 1",
     )
+    parser.add_argument(
+        "--execution-engine", choices=EXECUTION_ENGINES, default="vm",
+        help="how compiled programs execute: the register-bytecode VM "
+        "(default) or the tree-walking oracle interpreters; the figure "
+        "output is byte-identical either way",
+    )
+    parser.add_argument(
+        "--sizes", choices=sorted(SIZE_TIERS), default="default",
+        help="benchmark problem-size tier (the 'large' tier is sized for "
+        "the bytecode engine)",
+    )
     args = parser.parse_args(argv)
 
     printed = False
-    harness = EvaluationHarness(jobs=args.jobs)
+    harness = EvaluationHarness(
+        SIZE_TIERS[args.sizes],
+        jobs=args.jobs,
+        execution_engine=args.execution_engine,
+    )
     if args.correctness:
         print(correctness_report(harness))
         printed = True

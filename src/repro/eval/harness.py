@@ -30,15 +30,18 @@ from .benchmarks import DEFAULT_SIZES, benchmark_sources
 
 
 def measurement_options(
-    variant: str, *, rewrite_engine: Optional[str] = None
+    variant: str,
+    *,
+    rewrite_engine: Optional[str] = None,
+    execution_engine: Optional[str] = None,
 ) -> PipelineOptions:
     """The :class:`PipelineOptions` used for *measurement* runs.
 
     One shared construction point for the harness and the compile-time
     benchmarks: resolves the variant, switches per-pass verification off
     (measurements time the pipeline, not the verifier) and applies the
-    requested rewrite engine.  Session/jobs configuration threads through
-    the callers; only the per-compile knobs live here.
+    requested rewrite and execution engines.  Session/jobs configuration
+    threads through the callers; only the per-compile knobs live here.
     """
     options = (
         PipelineOptions() if variant == "default" else PipelineOptions.variant(variant)
@@ -46,6 +49,8 @@ def measurement_options(
     options.verify_each = False
     if rewrite_engine is not None:
         options.rewrite_engine = rewrite_engine
+    if execution_engine is not None:
+        options.execution_engine = execution_engine
     return options
 
 
@@ -101,11 +106,18 @@ def _measure(
     variant: str,
     source: str,
     session: Optional[CompilationSession] = None,
+    execution_engine: str = "vm",
 ) -> VariantMeasurement:
     if variant == "baseline":
-        result = run_baseline(source, session=session)
+        result = run_baseline(
+            source, session=session, execution_engine=execution_engine
+        )
     else:
-        result = run_mlir(source, measurement_options(variant), session=session)
+        result = run_mlir(
+            source,
+            measurement_options(variant, execution_engine=execution_engine),
+            session=session,
+        )
     counts = result.metrics.counts
     return VariantMeasurement(
         benchmark=benchmark,
@@ -121,16 +133,19 @@ def _measure(
 
 
 def _measure_benchmark_worker(
-    task: Tuple[str, str, Tuple[str, ...]],
+    task: Tuple[str, str, Tuple[str, ...], str],
 ) -> List[VariantMeasurement]:
     """One shard: measure every requested variant of one benchmark.
 
     Runs in a worker process, so it builds its own session — the frontend
     of the benchmark is still shared across the variants it measures.
     """
-    name, source, variants = task
+    name, source, variants, execution_engine = task
     session = CompilationSession()
-    return [_measure(name, variant, source, session) for variant in variants]
+    return [
+        _measure(name, variant, source, session, execution_engine)
+        for variant in variants
+    ]
 
 
 def run_sharded(tasks: Sequence, worker, jobs: int) -> Optional[List]:
@@ -179,7 +194,10 @@ class EvaluationHarness:
 
     ``jobs`` shards measurement across processes (one worker per
     benchmark); ``session`` is the compilation session used for sequential
-    runs (each worker process builds its own).
+    runs (each worker process builds its own).  ``execution_engine``
+    selects how compiled programs run: ``"vm"`` (register bytecode, the
+    default) or ``"tree"`` (the tree-walking oracles) — the figures are
+    byte-identical either way, only wall time changes.
     """
 
     def __init__(
@@ -188,11 +206,13 @@ class EvaluationHarness:
         *,
         jobs: int = 1,
         session: Optional[CompilationSession] = None,
+        execution_engine: str = "vm",
     ):
         self.sizes = sizes or DEFAULT_SIZES
         self.sources = benchmark_sources(self.sizes)
         self.jobs = max(1, int(jobs))
         self.session = session if session is not None else CompilationSession()
+        self.execution_engine = execution_engine
 
     # -- measurement fan-out ----------------------------------------------------
     def _measurements(
@@ -204,16 +224,17 @@ class EvaluationHarness:
         identical whichever way the measurements were scheduled.
         """
         tasks = [
-            (name, source, tuple(variants)) for name, source in self.sources.items()
+            (name, source, tuple(variants), self.execution_engine)
+            for name, source in self.sources.items()
         ]
         results = run_sharded(tasks, _measure_benchmark_worker, self.jobs)
         if results is None:
             results = [
                 [
-                    _measure(name, variant, source, self.session)
+                    _measure(name, variant, source, self.session, engine)
                     for variant in variants
                 ]
-                for name, source, variants in tasks
+                for name, source, variants, engine in tasks
             ]
         return {
             task[0]: {m.variant: m for m in measurements}
@@ -226,8 +247,11 @@ class EvaluationHarness:
         report: Dict[str, bool] = {}
         for name, source in self.sources.items():
             expected = run_reference(source, session=self.session)
-            baseline = run_baseline(source, session=self.session)
-            mlir = run_mlir(source, session=self.session)
+            baseline = run_baseline(
+                source, session=self.session, execution_engine=self.execution_engine
+            )
+            options = PipelineOptions(execution_engine=self.execution_engine)
+            mlir = run_mlir(source, options, session=self.session)
             report[name] = baseline.value == expected and mlir.value == expected
         return report
 

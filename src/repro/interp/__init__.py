@@ -1,11 +1,31 @@
-"""Interpreters and the shared cost model."""
+"""Interpreters, the bytecode execution engine and the shared cost model."""
 
+from .bytecode import (
+    EXECUTION_ENGINES,
+    BytecodeError,
+    BytecodeFunction,
+    BytecodeProgram,
+    VirtualMachine,
+    compile_cfg_module,
+    compile_rc_program,
+    run_cfg_module_vm,
+    run_rc_program_vm,
+)
 from .cfg_interp import CfgInterpreter, CfgInterpreterError, run_cfg_module
 from .metrics import DEFAULT_COSTS, ExecutionMetrics
 from .rc_interp import RcInterpreter, RunResult, run_rc_program
 from .reference import ReferenceInterpreter, RefClosure, RefCtor, normalize
 
 __all__ = [
+    "EXECUTION_ENGINES",
+    "BytecodeError",
+    "BytecodeFunction",
+    "BytecodeProgram",
+    "VirtualMachine",
+    "compile_cfg_module",
+    "compile_rc_program",
+    "run_cfg_module_vm",
+    "run_rc_program_vm",
     "CfgInterpreter",
     "CfgInterpreterError",
     "run_cfg_module",

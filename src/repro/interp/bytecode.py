@@ -1,0 +1,883 @@
+"""Register-based bytecode execution engine for the evaluation interpreters.
+
+The tree-walking interpreters (:class:`~repro.interp.cfg_interp.
+CfgInterpreter` and :class:`~repro.interp.rc_interp.RcInterpreter`) re-walk
+the IR object graph on every call: each operation is re-dispatched through a
+long ``isinstance`` chain, every SSA value / λrc variable is a dictionary
+key, and environments are copied per ``let`` / block transfer.  Following
+MLIR's split between the IR and its execution engines, this module compiles
+a module **once** into flat per-function instruction arrays and executes
+them with a compact VM loop:
+
+* *registers* — every SSA value (or λrc variable binding) gets a dense
+  integer slot; a frame is a plain Python list, parameters occupy slots
+  ``0..n-1``,
+* *pre-resolved control flow* — branch targets are instruction indices,
+  ``cf.switch`` / λrc ``case`` dispatch through a precomputed value→pc
+  dict, block-argument forwarding is a register parallel-copy baked into
+  the jump instruction,
+* *pre-resolved calls* — a direct call holds the callee's compiled
+  function object (no name lookup at run time); runtime builtins and
+  unknown symbols are classified at compile time,
+* *precomputed cost charges* — every instruction knows its cost-model
+  category up front; only genuinely dynamic charges (``lp.reuse`` tokens,
+  closure application chains) are decided while running.
+
+Both IR levels compile to the **same instruction set** and share one
+:class:`VirtualMachine` loop: :func:`compile_cfg_module` translates the
+final CFG-form MLIR module, :func:`compile_rc_program` translates a λrc
+program (join points become jump labels, ``case`` becomes the dispatch
+instruction).  The VM charges exactly the events the corresponding
+tree-walker charges, so results, :class:`~repro.interp.metrics.
+ExecutionMetrics` and heap statistics are identical — the tree-walkers
+survive as differential oracles (``execution_engine="tree"``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dialects import arith, cf, lp
+from ..dialects.builtin import ModuleOp
+from ..dialects.func import CallOp, FuncOp, GetGlobalOp, ReturnOp, SetGlobalOp
+from ..lambda_pure import ir as rc_ir
+from ..runtime import (
+    CtorObject,
+    RuntimeContext,
+    RuntimeError_,
+    Scalar,
+    Enum,
+    call_builtin,
+    extend_closure,
+    is_builtin,
+    make_closure,
+    python_value,
+    tag_of,
+)
+from .cfg_interp import CfgInterpreterError
+from .metrics import DEFAULT_COSTS, ExecutionMetrics
+from .rc_interp import RunResult
+
+#: The execution engines understood by the pipeline layer.
+EXECUTION_ENGINES = ("vm", "tree")
+
+
+class BytecodeError(Exception):
+    """Raised when a module cannot be compiled to bytecode."""
+
+
+# ---------------------------------------------------------------------------
+# Instruction set
+# ---------------------------------------------------------------------------
+# An instruction is a plain tuple whose first element is one of the opcode
+# integers below.  Register operands are indices into the frame list; a
+# destination of -1 discards the produced value.  Branch operands are
+# absolute instruction indices within the function's code array.
+
+OP_RET = 0          # (op, src)                       charge: return
+OP_JMP = 1          # (op, pc, srcs, dsts)            charge: jump
+OP_CONDBR = 2       # (op, cond, tpc, tsrcs, tdsts, fpc, fsrcs, fdsts)  branch
+OP_SWITCH = 3       # (op, flag, {value: pc}, default_pc)               branch
+OP_CASE = 4         # (op, src, {tag: pc}, default_pc|None)  getlabel+arith+branch
+OP_UNREACHABLE = 5  # (op, message)
+OP_CONST = 6        # (op, dst, value)                charge: const
+OP_INT = 7          # (op, dst, value)                charge: move
+OP_BIGINT = 8       # (op, dst, value)                charge: runtime_call
+OP_CONSTRUCT = 9    # (op, dst, tag, field_regs, category)
+OP_GETLABEL = 10    # (op, dst, src)                  charge: getlabel
+OP_PROJ = 11        # (op, dst, src, index)           charge: proj + rc
+OP_PAP = 12         # (op, dst, callee, arity|None, arg_regs)  alloc_closure
+OP_PAPEXTEND = 13   # (op, dst, closure, arg_regs)    charge: apply (dynamic)
+OP_INC = 14         # (op, src, count)                charge: rc
+OP_DEC = 15         # (op, src, count)                charge: rc
+OP_RESET = 16       # (op, dst, src)                  charge: rc
+OP_REUSE = 17       # (op, dst, token, tag, field_regs)  dynamic
+OP_CALL = 18        # (op, dst, BytecodeFunction, arg_regs)  charge: call
+OP_RTCALL = 19      # (op, dst, name, arg_regs)       charge: runtime_call
+OP_BADCALL = 20     # (op, name)                      raises
+OP_GETGLOBAL = 21   # (op, dst, name)                 charge: global
+OP_SETGLOBAL = 22   # (op, name, src)                 charge: global
+OP_BINARITH = 23    # (op, dst, fn, lhs, rhs)         charge: arith
+OP_CMP = 24         # (op, dst, fn, lhs, rhs)         charge: arith
+OP_SELECT = 25      # (op, dst, cond, t, f)           charge: arith
+OP_CAST = 26        # (op, dst, src)                  charge: arith
+
+#: Human-readable opcode names (docs/EXECUTION.md and the unit tests).
+OPCODE_NAMES = {
+    OP_RET: "ret", OP_JMP: "jmp", OP_CONDBR: "cond_br", OP_SWITCH: "switch",
+    OP_CASE: "case", OP_UNREACHABLE: "unreachable", OP_CONST: "const",
+    OP_INT: "int", OP_BIGINT: "bigint", OP_CONSTRUCT: "construct",
+    OP_GETLABEL: "getlabel", OP_PROJ: "proj", OP_PAP: "pap",
+    OP_PAPEXTEND: "papextend", OP_INC: "inc", OP_DEC: "dec",
+    OP_RESET: "reset", OP_REUSE: "reuse", OP_CALL: "call",
+    OP_RTCALL: "rtcall", OP_BADCALL: "badcall", OP_GETGLOBAL: "getglobal",
+    OP_SETGLOBAL: "setglobal", OP_BINARITH: "binarith", OP_CMP: "cmp",
+    OP_SELECT: "select", OP_CAST: "cast",
+}
+
+def _divsi(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in arith.divsi")
+    return int(a / b)
+
+
+def _remsi(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("remainder by zero in arith.remsi")
+    return a - int(a / b) * b
+
+
+#: Binary arithmetic resolved to callables at compile time.  The semantics
+#: (including errors) must stay those of :func:`repro.dialects.arith.
+#: evaluate_binary` — the resolved tables exist only to skip its per-event
+#: name dispatch; a drift test compares every entry against the oracle.
+_BINARY_FNS: Dict[str, Callable[[int, int], int]] = {
+    arith.AddIOp.OP_NAME: lambda a, b: a + b,
+    arith.SubIOp.OP_NAME: lambda a, b: a - b,
+    arith.MulIOp.OP_NAME: lambda a, b: a * b,
+    arith.DivSIOp.OP_NAME: _divsi,
+    arith.RemSIOp.OP_NAME: _remsi,
+    arith.AndIOp.OP_NAME: lambda a, b: a & b,
+    arith.OrIOp.OP_NAME: lambda a, b: a | b,
+    arith.XorIOp.OP_NAME: lambda a, b: a ^ b,
+}
+
+#: Comparison predicates resolved to callables (semantics of
+#: :func:`repro.dialects.arith.evaluate_cmpi`; drift-tested likewise).
+_CMP_FNS: Dict[str, Callable[[int, int], int]] = {
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "slt": lambda a, b: 1 if a < b else 0,
+    "sle": lambda a, b: 1 if a <= b else 0,
+    "sgt": lambda a, b: 1 if a > b else 0,
+    "sge": lambda a, b: 1 if a >= b else 0,
+    "ult": lambda a, b: 1 if abs(a) < abs(b) else 0,
+    "ule": lambda a, b: 1 if abs(a) <= abs(b) else 0,
+    "ugt": lambda a, b: 1 if abs(a) > abs(b) else 0,
+    "uge": lambda a, b: 1 if abs(a) >= abs(b) else 0,
+}
+
+
+class BytecodeFunction:
+    """One compiled function: a flat instruction array plus frame layout."""
+
+    __slots__ = ("name", "num_params", "num_regs", "code")
+
+    def __init__(self, name: str, num_params: int):
+        self.name = name
+        self.num_params = num_params
+        self.num_regs = num_params
+        self.code: List[Tuple] = []
+
+    def __repr__(self):
+        return (
+            f"BytecodeFunction({self.name!r}, params={self.num_params}, "
+            f"regs={self.num_regs}, instructions={len(self.code)})"
+        )
+
+
+class BytecodeProgram:
+    """A compiled module: every function plus execution flavour metadata.
+
+    ``flavor`` selects the tree-walker whose observable behaviour the VM
+    reproduces: ``"cfg"`` (CFG-form MLIR, :class:`CfgInterpreter` oracle)
+    or ``"rc"`` (λrc, :class:`RcInterpreter` oracle).  It decides the error
+    type raised on runtime faults and how ``run_main`` releases the final
+    value — both tree-walkers differ slightly and the VM matches each
+    exactly.
+    """
+
+    __slots__ = ("flavor", "functions", "main")
+
+    def __init__(self, flavor: str, main: str = "main"):
+        if flavor not in ("cfg", "rc"):
+            raise ValueError(f"unknown bytecode flavor {flavor!r}")
+        self.flavor = flavor
+        self.functions: Dict[str, BytecodeFunction] = {}
+        self.main = main
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(f.code) for f in self.functions.values())
+
+    def __repr__(self):
+        return (
+            f"BytecodeProgram({self.flavor!r}, functions={len(self.functions)}, "
+            f"instructions={self.instruction_count})"
+        )
+
+
+class _Label:
+    """A forward-referenced instruction index, patched after emission."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self):
+        self.pc: Optional[int] = None
+
+
+def _resolve_labels(code: List[Tuple]) -> List[Tuple]:
+    """Replace :class:`_Label` references (including dict values) with pcs."""
+    resolved = []
+    for ins in code:
+        out = []
+        for element in ins:
+            if isinstance(element, _Label):
+                out.append(element.pc)
+            elif isinstance(element, dict):
+                out.append({
+                    key: value.pc if isinstance(value, _Label) else value
+                    for key, value in element.items()
+                })
+            else:
+                out.append(element)
+        resolved.append(tuple(out))
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# CFG-form MLIR -> bytecode
+# ---------------------------------------------------------------------------
+
+
+class _CfgFunctionCompiler:
+    """Compiles one ``func.func`` body into a :class:`BytecodeFunction`."""
+
+    def __init__(self, func: FuncOp, target: BytecodeFunction, program: BytecodeProgram):
+        self.func = func
+        self.target = target
+        self.program = program
+        self.regs: Dict[object, int] = {}
+        self.code: List[Tuple] = []
+
+    def _reg(self, value) -> int:
+        index = self.regs.get(value)
+        if index is None:
+            index = self.target.num_regs
+            self.target.num_regs += 1
+            self.regs[value] = index
+        return index
+
+    def _operand_regs(self, values) -> Tuple[int, ...]:
+        return tuple(self.regs[v] for v in values)
+
+    def run(self) -> None:
+        blocks = list(self.func.body.blocks)
+        # Parameters occupy registers 0..n-1 (the shell pre-reserved them);
+        # then every block argument gets its slot up front so branches can
+        # name their destination registers.
+        for index, argument in enumerate(blocks[0].arguments):
+            self.regs[argument] = index
+        labels = {block: _Label() for block in blocks}
+        for block in blocks[1:]:
+            for argument in block.arguments:
+                self._reg(argument)
+        for block in blocks:
+            labels[block].pc = len(self.code)
+            for op in block:
+                self._emit(op, labels)
+        self.target.code = _resolve_labels(self.code)
+
+    def _branch_args(self, block, values) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        return (
+            self._operand_regs(values),
+            tuple(self.regs[a] for a in block.arguments),
+        )
+
+    def _emit(self, op, labels) -> None:
+        code = self.code
+        # Terminators ---------------------------------------------------
+        if isinstance(op, ReturnOp):
+            src = self.regs[op.operands[0]] if op.operands else -1
+            code.append((OP_RET, src))
+            return
+        if isinstance(op, cf.BranchOp):
+            srcs, dsts = self._branch_args(op.dest, op.dest_operands)
+            code.append((OP_JMP, labels[op.dest], srcs, dsts))
+            return
+        if isinstance(op, cf.CondBranchOp):
+            tsrcs, tdsts = self._branch_args(op.true_dest, op.true_operands)
+            fsrcs, fdsts = self._branch_args(op.false_dest, op.false_operands)
+            code.append((
+                OP_CONDBR, self.regs[op.condition],
+                labels[op.true_dest], tsrcs, tdsts,
+                labels[op.false_dest], fsrcs, fdsts,
+            ))
+            return
+        if isinstance(op, cf.SwitchOp):
+            # setdefault keeps the FIRST entry per value, preserving the
+            # tree-walker's linear-scan semantics on (unverified) duplicates.
+            table = {}
+            for value, dest in zip(op.case_values, op.case_dests):
+                table.setdefault(value, labels[dest])
+            code.append((
+                OP_SWITCH, self.regs[op.flag], table, labels[op.default_dest]
+            ))
+            return
+        if isinstance(op, cf.UnreachableOp):
+            code.append((OP_UNREACHABLE, "executed cf.unreachable"))
+            return
+
+        # lp data operations --------------------------------------------
+        if isinstance(op, lp.IntOp):
+            code.append((OP_INT, self._reg(op.result()), op.value))
+            return
+        if isinstance(op, lp.BigIntOp):
+            code.append((OP_BIGINT, self._reg(op.result()), op.value))
+            return
+        if isinstance(op, lp.ConstructOp):
+            fields = self._operand_regs(op.operands)
+            category = "alloc_ctor" if fields else "move"
+            code.append(
+                (OP_CONSTRUCT, self._reg(op.result()), op.tag, fields, category)
+            )
+            return
+        if isinstance(op, lp.GetLabelOp):
+            code.append((OP_GETLABEL, self._reg(op.result()), self.regs[op.operands[0]]))
+            return
+        if isinstance(op, lp.ProjectOp):
+            code.append((
+                OP_PROJ, self._reg(op.result()), self.regs[op.operands[0]], op.index
+            ))
+            return
+        if isinstance(op, lp.PapOp):
+            callee = self.program.functions.get(op.callee)
+            arity = callee.num_params if callee is not None else None
+            code.append((
+                OP_PAP, self._reg(op.result()), op.callee, arity,
+                self._operand_regs(op.operands),
+            ))
+            return
+        if isinstance(op, lp.PapExtendOp):
+            code.append((
+                OP_PAPEXTEND, self._reg(op.result()),
+                self.regs[op.operands[0]], self._operand_regs(op.operands[1:]),
+            ))
+            return
+        if isinstance(op, lp.IncOp):
+            code.append((OP_INC, self.regs[op.operands[0]], op.count))
+            return
+        if isinstance(op, lp.DecOp):
+            code.append((OP_DEC, self.regs[op.operands[0]], op.count))
+            return
+        if isinstance(op, lp.ResetOp):
+            code.append((OP_RESET, self._reg(op.result()), self.regs[op.operands[0]]))
+            return
+        if isinstance(op, lp.ReuseOp):
+            code.append((
+                OP_REUSE, self._reg(op.result()), self.regs[op.operands[0]],
+                op.tag, self._operand_regs(op.operands[1:]),
+            ))
+            return
+
+        # Calls and globals ----------------------------------------------
+        if isinstance(op, CallOp):
+            dst = self._reg(op.result()) if op.results else -1
+            args = self._operand_regs(op.operands)
+            callee = self.program.functions.get(op.callee)
+            if callee is not None:
+                code.append((OP_CALL, dst, callee, args))
+            elif is_builtin(op.callee):
+                code.append((OP_RTCALL, dst, op.callee, args))
+            else:
+                code.append((OP_BADCALL, op.callee))
+            return
+        if isinstance(op, GetGlobalOp):
+            code.append((OP_GETGLOBAL, self._reg(op.result()), op.global_name))
+            return
+        if isinstance(op, SetGlobalOp):
+            code.append((OP_SETGLOBAL, op.global_name, self.regs[op.operands[0]]))
+            return
+
+        # arith -----------------------------------------------------------
+        if isinstance(op, arith.ConstantOp):
+            code.append((OP_CONST, self._reg(op.result()), op.value))
+            return
+        if isinstance(op, arith.CmpIOp):
+            code.append((
+                OP_CMP, self._reg(op.result()), _CMP_FNS[op.predicate],
+                self.regs[op.operands[0]], self.regs[op.operands[1]],
+            ))
+            return
+        if isinstance(op, arith.SelectOp):
+            code.append((
+                OP_SELECT, self._reg(op.result()), self.regs[op.operands[0]],
+                self.regs[op.operands[1]], self.regs[op.operands[2]],
+            ))
+            return
+        binary = _BINARY_FNS.get(op.name)
+        if binary is not None:
+            code.append((
+                OP_BINARITH, self._reg(op.result()), binary,
+                self.regs[op.operands[0]], self.regs[op.operands[1]],
+            ))
+            return
+        if isinstance(op, (arith.TruncIOp, arith.ExtUIOp)):
+            code.append((OP_CAST, self._reg(op.result()), self.regs[op.operands[0]]))
+            return
+
+        raise BytecodeError(f"cannot compile operation {op.name}")
+
+
+def compile_cfg_module(module: ModuleOp, *, main: str = "main") -> BytecodeProgram:
+    """Compile a CFG-form MLIR module to a :class:`BytecodeProgram`.
+
+    Declarations (runtime functions) are left to the builtin dispatcher;
+    only bodies are compiled.
+    """
+    program = BytecodeProgram("cfg", main=main)
+    defined = [f for f in module.functions() if not f.is_declaration]
+    # Two phases so direct calls can hold the callee's function object even
+    # for mutual recursion: allocate every shell first, then fill bodies.
+    for func in defined:
+        program.functions[func.sym_name] = BytecodeFunction(
+            func.sym_name, len(func.function_type.inputs)
+        )
+    for func in defined:
+        _CfgFunctionCompiler(func, program.functions[func.sym_name], program).run()
+    return program
+
+
+# ---------------------------------------------------------------------------
+# λrc -> bytecode
+# ---------------------------------------------------------------------------
+
+
+class _RcFunctionCompiler:
+    """Compiles one λrc function body into a :class:`BytecodeFunction`.
+
+    Variables are alpha-renamed onto registers while compiling: every
+    ``let`` allocates a *fresh* slot (shadowed names keep their old slot
+    alive), so a join point's body — compiled against the name→register
+    map captured at its declaration — reads exactly the values the
+    tree-walker's captured environment would, without any environment
+    copying at run time.
+    """
+
+    def __init__(self, fn: rc_ir.Function, target: BytecodeFunction, program: BytecodeProgram):
+        self.fn = fn
+        self.target = target
+        self.program = program
+        self.code: List[Tuple] = []
+        #: Deferred (body, env, joins, label) emissions: join-point bodies
+        #: are placed after the flow that declares them.
+        self.pending: List[Tuple] = []
+
+    def _new_reg(self) -> int:
+        index = self.target.num_regs
+        self.target.num_regs += 1
+        return index
+
+    def run(self) -> None:
+        env = {param: index for index, param in enumerate(self.fn.params)}
+        self._emit_body(self.fn.body, env, {})
+        while self.pending:
+            body, env, joins, label = self.pending.pop(0)
+            label.pc = len(self.code)
+            self._emit_body(body, env, joins)
+        self.target.code = _resolve_labels(self.code)
+
+    # -- bodies -----------------------------------------------------------
+    def _emit_body(self, body, env: Dict[str, int], joins: Dict[str, Tuple]) -> None:
+        code = self.code
+        while True:
+            if isinstance(body, rc_ir.Let):
+                dst = self._new_reg()
+                self._emit_expr(body.expr, env, dst)
+                env = dict(env)
+                env[body.var] = dst
+                body = body.body
+                continue
+            if isinstance(body, rc_ir.Inc):
+                code.append((OP_INC, env[body.var], body.count))
+                body = body.body
+                continue
+            if isinstance(body, rc_ir.Dec):
+                code.append((OP_DEC, env[body.var], body.count))
+                body = body.body
+                continue
+            if isinstance(body, rc_ir.Ret):
+                code.append((OP_RET, env[body.var]))
+                return
+            if isinstance(body, rc_ir.Case):
+                table: Dict[int, _Label] = {}
+                branches = []
+                for alt in body.alts:
+                    label = _Label()
+                    # First alternative wins on duplicate tags, like the
+                    # tree-walker's linear alternative scan.
+                    table.setdefault(alt.tag, label)
+                    branches.append((alt.body, label))
+                default_label = None
+                if body.default is not None:
+                    default_label = _Label()
+                    branches.append((body.default, default_label))
+                code.append((OP_CASE, env[body.var], table, default_label))
+                for branch_body, label in branches:
+                    label.pc = len(code)
+                    self._emit_body(branch_body, env, joins)
+                return
+            if isinstance(body, rc_ir.JDecl):
+                joins = dict(joins)
+                label = _Label()
+                param_regs = tuple(self._new_reg() for _ in body.params)
+                joins[body.label] = (label, param_regs)
+                join_env = dict(env)
+                join_env.update(zip(body.params, param_regs))
+                # The join body sees the joins map *including itself*, so
+                # self-recursive jumps compile to backward jumps.
+                self.pending.append((body.jbody, join_env, joins, label))
+                body = body.rest
+                continue
+            if isinstance(body, rc_ir.Jmp):
+                label, param_regs = joins[body.label]
+                srcs = tuple(env[a] for a in body.args)
+                code.append((OP_JMP, label, srcs, param_regs))
+                return
+            if isinstance(body, rc_ir.Unreachable):
+                code.append(
+                    (OP_UNREACHABLE, "executed an unreachable program point")
+                )
+                return
+            raise BytecodeError(f"unknown body node {body!r}")
+
+    # -- expressions ------------------------------------------------------
+    def _emit_expr(self, expr, env: Dict[str, int], dst: int) -> None:
+        code = self.code
+        if isinstance(expr, rc_ir.Lit):
+            # The λrc tree-walker charges every literal as a register move
+            # (big integers included), unlike the lp dialect's lp.bigint.
+            code.append((OP_INT, dst, expr.value))
+            return
+        if isinstance(expr, rc_ir.Ctor):
+            fields = tuple(env[a] for a in expr.args)
+            category = "alloc_ctor" if fields else "move"
+            code.append((OP_CONSTRUCT, dst, expr.tag, fields, category))
+            return
+        if isinstance(expr, rc_ir.Proj):
+            code.append((OP_PROJ, dst, env[expr.var], expr.index))
+            return
+        if isinstance(expr, rc_ir.Reset):
+            code.append((OP_RESET, dst, env[expr.var]))
+            return
+        if isinstance(expr, rc_ir.Reuse):
+            code.append((
+                OP_REUSE, dst, env[expr.token], expr.tag,
+                tuple(env[a] for a in expr.args),
+            ))
+            return
+        if isinstance(expr, rc_ir.Call):
+            args = tuple(env[a] for a in expr.args)
+            # The λrc tree-walker tries the runtime builtins *before* the
+            # program's own functions; mirror that resolution order.
+            if is_builtin(expr.fn):
+                code.append((OP_RTCALL, dst, expr.fn, args))
+            elif expr.fn in self.program.functions:
+                code.append((OP_CALL, dst, self.program.functions[expr.fn], args))
+            else:
+                code.append((OP_BADCALL, expr.fn))
+            return
+        if isinstance(expr, rc_ir.PAp):
+            callee = self.program.functions.get(expr.fn)
+            arity = callee.num_params if callee is not None else None
+            code.append((OP_PAP, dst, expr.fn, arity, tuple(env[a] for a in expr.args)))
+            return
+        if isinstance(expr, rc_ir.App):
+            code.append((
+                OP_PAPEXTEND, dst, env[expr.closure],
+                tuple(env[a] for a in expr.args),
+            ))
+            return
+        raise BytecodeError(f"unknown expression {expr!r}")
+
+
+def compile_rc_program(program: rc_ir.Program) -> BytecodeProgram:
+    """Compile a λrc program to a :class:`BytecodeProgram`."""
+    bytecode = BytecodeProgram("rc", main=program.main)
+    for name, fn in program.functions.items():
+        bytecode.functions[name] = BytecodeFunction(name, fn.arity)
+    for name, fn in program.functions.items():
+        _RcFunctionCompiler(fn, bytecode.functions[name], bytecode).run()
+    return bytecode
+
+
+# ---------------------------------------------------------------------------
+# The VM
+# ---------------------------------------------------------------------------
+
+
+class VirtualMachine:
+    """Executes a :class:`BytecodeProgram` against the simulated runtime.
+
+    One VM instance owns one runtime context and one metrics object, like
+    the tree-walking interpreters it replaces; ``run_main`` is a drop-in
+    for their ``run_main`` (the entry point is the keyword-only ``main``;
+    the positional parameter is the argument list, as on
+    :class:`RcInterpreter`).
+
+    Charges accumulate in a local counter and fold into
+    ``metrics.counts`` when ``run_main`` returns *or raises* — callers
+    invoking :meth:`call_function` directly should call ``run_main``
+    instead (or read the counters only after a ``run_main``).
+    """
+
+    def __init__(
+        self,
+        program: BytecodeProgram,
+        *,
+        context: Optional[RuntimeContext] = None,
+        metrics: Optional[ExecutionMetrics] = None,
+        recursion_limit: int = 200000,
+    ):
+        self.program = program
+        self.ctx = context if context is not None else RuntimeContext()
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        self.globals: Dict[str, object] = {}
+        #: Local charge accumulator, folded into ``metrics.counts`` when a
+        #: run finishes (the per-event ``charge`` call is the tree-walkers'
+        #: single hottest line).
+        self._counts: Dict[str, int] = {category: 0 for category in DEFAULT_COSTS}
+        if sys.getrecursionlimit() < recursion_limit:
+            sys.setrecursionlimit(recursion_limit)
+
+    # -- error shaping ----------------------------------------------------
+    def _error(self, message: str) -> Exception:
+        if self.program.flavor == "cfg":
+            return CfgInterpreterError(message)
+        return RuntimeError_(message)
+
+    # -- public API -------------------------------------------------------
+    def run_main(
+        self,
+        args: Optional[List[object]] = None,
+        *,
+        main: Optional[str] = None,
+        check_heap: bool = True,
+    ) -> RunResult:
+        if isinstance(args, str):
+            raise TypeError(
+                "run_main takes the argument list first; pass the entry "
+                "point as run_main(main=...)"
+            )
+        start = time.perf_counter()
+        try:
+            result = self.call_function(main or self.program.main, list(args or []))
+        finally:
+            # Fold charges into the metrics even when execution faults, so
+            # the counters reflect the work done up to the error — the same
+            # observable the incrementally-charging tree-walkers leave.
+            self.metrics.wall_time_seconds = time.perf_counter() - start
+            self._flush_counts()
+        snapshot = python_value(result) if result is not None else None
+        if self.program.flavor == "cfg":
+            if result is not None:
+                self.ctx.release(result)
+        elif not isinstance(result, (Scalar, Enum)):
+            self.ctx.release(result)
+        if check_heap:
+            self.ctx.heap.check_balanced()
+        return RunResult(
+            value=snapshot,
+            metrics=self.metrics,
+            heap_stats=self.ctx.heap.stats.as_dict(),
+            output=list(self.ctx.output),
+        )
+
+    def _flush_counts(self) -> None:
+        counts = self.metrics.counts
+        for category, count in self._counts.items():
+            if count:
+                counts[category] = counts.get(category, 0) + count
+                self._counts[category] = 0
+
+    # -- calls ------------------------------------------------------------
+    def call_function(self, name: str, args: List[object]) -> object:
+        counts = self._counts
+        if self.program.flavor == "rc" and is_builtin(name):
+            counts["runtime_call"] += 1
+            return call_builtin(self.ctx, name, args)
+        fn = self.program.functions.get(name)
+        if fn is not None:
+            counts["call"] += 1
+            return self._exec(fn, args)
+        if is_builtin(name):
+            counts["runtime_call"] += 1
+            return call_builtin(self.ctx, name, args)
+        if self.program.flavor == "cfg":
+            raise self._error(f"call of unknown function @{name}")
+        raise self._error(f"unknown function {name}")
+
+    def _apply_closure(self, closure: object, args: List[object]) -> object:
+        self._counts["apply"] += 1
+        outcome = extend_closure(self.ctx.heap, closure, args)
+        if not outcome.is_call:
+            return outcome.closure
+        result = self.call_function(outcome.call_fn, outcome.call_args)
+        if outcome.extra_args:
+            return self._apply_closure(result, outcome.extra_args)
+        return result
+
+    # -- the interpreter loop ---------------------------------------------
+    def _exec(self, fn: BytecodeFunction, args: List[object]) -> object:
+        if len(args) != fn.num_params:
+            raise self._error(
+                f"calling {fn.name} with {len(args)} arguments, "
+                f"expected {fn.num_params}"
+            )
+        regs = [None] * fn.num_regs
+        regs[: fn.num_params] = args
+        code = fn.code
+        counts = self._counts
+        heap = self.ctx.heap
+        pc = 0
+        while True:
+            ins = code[pc]
+            opcode = ins[0]
+            if opcode == OP_BINARITH:
+                counts["arith"] += 1
+                regs[ins[1]] = ins[2](regs[ins[3]], regs[ins[4]])
+            elif opcode == OP_CMP:
+                counts["arith"] += 1
+                regs[ins[1]] = ins[2](regs[ins[3]], regs[ins[4]])
+            elif opcode == OP_JMP:
+                counts["jump"] += 1
+                srcs = ins[2]
+                if srcs:
+                    values = [regs[s] for s in srcs]
+                    for dst, value in zip(ins[3], values):
+                        regs[dst] = value
+                pc = ins[1]
+                continue
+            elif opcode == OP_CONDBR:
+                counts["branch"] += 1
+                if regs[ins[1]]:
+                    target, srcs, dsts = ins[2], ins[3], ins[4]
+                else:
+                    target, srcs, dsts = ins[5], ins[6], ins[7]
+                if srcs:
+                    values = [regs[s] for s in srcs]
+                    for dst, value in zip(dsts, values):
+                        regs[dst] = value
+                pc = target
+                continue
+            elif opcode == OP_CASE:
+                counts["getlabel"] += 1
+                counts["arith"] += 1
+                counts["branch"] += 1
+                tag = tag_of(regs[ins[1]])
+                target = ins[2].get(tag, ins[3])
+                if target is None:
+                    raise self._error(f"no alternative for tag {tag} in case")
+                pc = target
+                continue
+            elif opcode == OP_SWITCH:
+                counts["branch"] += 1
+                pc = ins[2].get(regs[ins[1]], ins[3])
+                continue
+            elif opcode == OP_CALL:
+                counts["call"] += 1
+                value = self._exec(ins[2], [regs[r] for r in ins[3]])
+                if ins[1] >= 0:
+                    regs[ins[1]] = value
+            elif opcode == OP_RET:
+                counts["return"] += 1
+                return regs[ins[1]] if ins[1] >= 0 else None
+            elif opcode == OP_PROJ:
+                counts["proj"] += 1
+                value = regs[ins[2]]
+                if not isinstance(value, CtorObject):
+                    raise self._error(f"projection from non-constructor {value!r}")
+                field = value.fields[ins[3]]
+                heap.inc(field)
+                counts["rc"] += 1
+                regs[ins[1]] = field
+            elif opcode == OP_CONSTRUCT:
+                counts[ins[4]] += 1
+                regs[ins[1]] = heap.alloc_ctor(ins[2], [regs[r] for r in ins[3]])
+            elif opcode == OP_INT:
+                counts["move"] += 1
+                regs[ins[1]] = heap.alloc_int(ins[2])
+            elif opcode == OP_CONST:
+                counts["const"] += 1
+                regs[ins[1]] = ins[2]
+            elif opcode == OP_GETLABEL:
+                counts["getlabel"] += 1
+                regs[ins[1]] = tag_of(regs[ins[2]])
+            elif opcode == OP_INC:
+                counts["rc"] += 1
+                heap.inc(regs[ins[1]], ins[2])
+            elif opcode == OP_DEC:
+                counts["rc"] += 1
+                heap.dec(regs[ins[1]], ins[2])
+            elif opcode == OP_SELECT:
+                counts["arith"] += 1
+                regs[ins[1]] = regs[ins[3]] if regs[ins[2]] else regs[ins[4]]
+            elif opcode == OP_RTCALL:
+                counts["runtime_call"] += 1
+                value = call_builtin(self.ctx, ins[2], [regs[r] for r in ins[3]])
+                if ins[1] >= 0:
+                    regs[ins[1]] = value
+            elif opcode == OP_PAP:
+                counts["alloc_closure"] += 1
+                if ins[3] is None:
+                    raise self._error(f"pap of unknown function {ins[2]}")
+                regs[ins[1]] = make_closure(
+                    heap, ins[2], ins[3], [regs[r] for r in ins[4]]
+                )
+            elif opcode == OP_PAPEXTEND:
+                regs[ins[1]] = self._apply_closure(
+                    regs[ins[2]], [regs[r] for r in ins[3]]
+                )
+            elif opcode == OP_REUSE:
+                token = regs[ins[2]]
+                fields = [regs[r] for r in ins[4]]
+                if isinstance(token, CtorObject):
+                    counts["reuse"] += 1
+                else:
+                    counts["alloc_ctor" if fields else "move"] += 1
+                regs[ins[1]] = heap.reuse(token, ins[3], fields)
+            elif opcode == OP_RESET:
+                counts["rc"] += 1
+                regs[ins[1]] = heap.reset(regs[ins[2]])
+            elif opcode == OP_BIGINT:
+                counts["runtime_call"] += 1
+                regs[ins[1]] = heap.alloc_int(ins[2])
+            elif opcode == OP_CAST:
+                counts["arith"] += 1
+                regs[ins[1]] = regs[ins[2]]
+            elif opcode == OP_GETGLOBAL:
+                counts["global"] += 1
+                regs[ins[1]] = self.globals.get(ins[2])
+            elif opcode == OP_SETGLOBAL:
+                counts["global"] += 1
+                self.globals[ins[1]] = regs[ins[2]]
+            elif opcode == OP_UNREACHABLE:
+                raise self._error(ins[1])
+            elif opcode == OP_BADCALL:
+                if self.program.flavor == "cfg":
+                    raise self._error(f"call of unknown function @{ins[1]}")
+                raise self._error(f"unknown function {ins[1]}")
+            else:
+                raise self._error(f"invalid opcode {opcode}")
+            pc += 1
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers (mirror run_cfg_module / run_rc_program)
+# ---------------------------------------------------------------------------
+
+
+def run_cfg_module_vm(
+    module: ModuleOp, *, main: str = "main", check_heap: bool = True
+) -> RunResult:
+    """Compile ``module`` to bytecode and execute ``@main`` on the VM."""
+    return VirtualMachine(compile_cfg_module(module, main=main)).run_main(
+        check_heap=check_heap
+    )
+
+
+def run_rc_program_vm(program: rc_ir.Program, *, check_heap: bool = True) -> RunResult:
+    """Compile a λrc ``program`` to bytecode and execute its main on the VM."""
+    return VirtualMachine(compile_rc_program(program)).run_main(check_heap=check_heap)

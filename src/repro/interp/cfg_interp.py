@@ -61,6 +61,10 @@ class CfgInterpreter:
         self.functions: Dict[str, FuncOp] = {
             f.sym_name: f for f in module.functions()
         }
+        #: Per-``cf.switch`` dispatch tables (value -> destination block),
+        #: built on first execution of each switch.  The tree-walker is the
+        #: bytecode VM's differential oracle, so its hot paths still matter.
+        self._switch_tables: Dict[Operation, Dict[int, Block]] = {}
         if sys.getrecursionlimit() < recursion_limit:
             sys.setrecursionlimit(recursion_limit)
 
@@ -159,11 +163,18 @@ class CfgInterpreter:
             return ("branch", op.false_dest, [env[v] for v in op.false_operands])
         if isinstance(op, cf.SwitchOp):
             self.metrics.charge("branch")
-            flag = env[op.flag]
-            for value, dest in zip(op.case_values, op.case_dests):
-                if value == flag:
-                    return ("branch", dest, [])
-            return ("branch", op.default_dest, [])
+            table = self._switch_tables.get(op)
+            if table is None:
+                # setdefault keeps the FIRST entry per value, preserving the
+                # linear scan's semantics even on (unverified) duplicates.
+                table = {}
+                for value, dest in zip(op.case_values, op.case_dests):
+                    table.setdefault(value, dest)
+                self._switch_tables[op] = table
+            dest = table.get(env[op.flag])
+            if dest is None:
+                dest = op.default_dest
+            return ("branch", dest, [])
         if isinstance(op, cf.UnreachableOp):
             raise CfgInterpreterError("executed cf.unreachable")
 

@@ -63,6 +63,9 @@ class GreedyRewriteResult:
     worklist_pushes: int = 0
     #: Requeue requests dropped because the op was already queued.
     requeues_deduped: int = 0
+    #: Candidate patterns skipped by the operand-arity prefilter before any
+    #: matching work was done (they could never match the op's shape).
+    prefilter_skips: int = 0
     #: pattern class name -> number of successful applications
     per_pattern: Dict[str, int] = field(default_factory=dict)
 
@@ -76,7 +79,12 @@ class PatternSet:
     """Patterns indexed by root op name, ordered by decreasing benefit.
 
     Building the index once per pass (instead of once per driver call, or
-    worse per op) keeps the candidate lookup a dict probe.
+    worse per op) keeps the candidate lookup a dict probe.  On top of the
+    name index sits an **operand-arity prefilter**: patterns declaring
+    ``num_operands`` / ``min_num_operands`` are skipped outright on ops
+    whose operand count can never satisfy them — the skip costs one integer
+    compare instead of a match attempt, which is what makes drain seeding
+    cheap on ops only variadic patterns care about.
     """
 
     def __init__(self, patterns: Sequence[RewritePattern]):
@@ -93,9 +101,25 @@ class PatternSet:
                 for name in names:
                     self._by_name.setdefault(name, []).append(p)
 
-    def candidates(self, op: Operation) -> Iterable[RewritePattern]:
-        yield from self._by_name.get(op.name, ())
-        yield from self._generic
+    def candidates(
+        self, op: Operation, result: Optional[GreedyRewriteResult] = None
+    ) -> Iterable[RewritePattern]:
+        """Patterns that might match ``op``, best benefit first.
+
+        Arity-prefiltered candidates are counted on ``result`` (when given)
+        instead of being yielded.
+        """
+        arity = len(op.operands)
+        for bucket in (self._by_name.get(op.name, ()), self._generic):
+            for pattern in bucket:
+                if (
+                    pattern.num_operands is not None
+                    and pattern.num_operands != arity
+                ) or arity < pattern.min_num_operands:
+                    if result is not None:
+                        result.prefilter_skips += 1
+                    continue
+                yield pattern
 
 
 class Worklist:
@@ -193,7 +217,7 @@ def _apply_worklist(
         op = worklist.pop()
         if not op.attached:
             continue  # erased (or detached) since it was queued
-        for pattern in pattern_set.candidates(op):
+        for pattern in pattern_set.candidates(op, result):
             result.match_attempts += 1
             rewriter = PatternRewriter(op)
             if not pattern.match_and_rewrite(op, rewriter):
@@ -288,7 +312,7 @@ def _apply_rescan(
             index += 1
             if op is root or not _is_attached(op, root):
                 continue
-            for pattern in pattern_set.candidates(op):
+            for pattern in pattern_set.candidates(op, result):
                 result.match_attempts += 1
                 rewriter = _SeedPatternRewriter(op)
                 if pattern.match_and_rewrite(op, rewriter):
@@ -357,6 +381,8 @@ class PatternRewritePass(FunctionPass):
         self.statistics.bump("applications", result.applications)
         self.statistics.bump_meter("match-attempts", result.match_attempts)
         self.statistics.bump_meter("worklist-pushes", result.worklist_pushes)
+        if result.prefilter_skips:
+            self.statistics.bump_meter("prefilter-skips", result.prefilter_skips)
         # Per-pattern application counts, as meters so the already-counted
         # "applications" rewrite total is not double-counted.
         for pattern_name, count in result.per_pattern.items():

@@ -171,11 +171,20 @@ class RewritePattern:
             takes precedence over ``op_name``.  Patterns setting neither are
             *generic* and tried on every operation — expensive in a large
             unified pattern drain, so set a root filter whenever possible.
+        num_operands: if set, the pattern can only match operations with
+            exactly this many operands; the driver skips everything else
+            before calling :meth:`match_and_rewrite` (skips are reported as
+            ``prefilter-skips`` in the pattern statistics).
+        min_num_operands: like ``num_operands`` but a lower bound — for
+            patterns rooted at variadic operations (e.g. a switch carrying
+            its flag plus any number of case operands).
         benefit: patterns with larger benefit are tried first.
     """
 
     op_name: Optional[str] = None
     op_names: Optional[frozenset] = None
+    num_operands: Optional[int] = None
+    min_num_operands: int = 0
     benefit: int = 1
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:

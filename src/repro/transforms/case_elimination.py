@@ -44,6 +44,7 @@ class FoldGetLabelOfKnownConstructor(RewritePattern):
     """
 
     op_name = lp.GetLabelOp.OP_NAME
+    num_operands = 1
     benefit = 2
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
@@ -61,6 +62,7 @@ class FoldSelectOfConstant(RewritePattern):
     """``select true, %a, %b`` → ``%a`` (and ``false`` → ``%b``)."""
 
     op_name = arith.SelectOp.OP_NAME
+    num_operands = 3
     benefit = 2
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
@@ -76,6 +78,8 @@ class FoldSwitchOfConstant(RewritePattern):
     """``rgn.switch`` on a constant flag → the matching region operand."""
 
     op_name = rgn.SwitchOp.OP_NAME
+    # A rgn.switch carries [flag, default_region, case_regions...].
+    min_num_operands = 2
     benefit = 2
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
@@ -99,6 +103,8 @@ class InlineRunOfKnownRegion(RewritePattern):
     """
 
     op_name = rgn.RunOp.OP_NAME
+    # A rgn.run carries [region_value, args...].
+    min_num_operands = 1
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, rgn.RunOp):

@@ -24,6 +24,7 @@ class FoldSelectSameOperands(RewritePattern):
     """``select %c, %a, %a`` → ``%a`` (works for any type, incl. regions)."""
 
     op_name = arith.SelectOp.OP_NAME
+    num_operands = 3
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if op.operands[1] is not op.operands[2]:
@@ -36,6 +37,8 @@ class FoldSwitchSameOperands(RewritePattern):
     """``rgn.switch`` whose every outcome is the same region → that region."""
 
     op_name = rgn.SwitchOp.OP_NAME
+    # A rgn.switch carries [flag, default_region, case_regions...].
+    min_num_operands = 2
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, rgn.SwitchOp):

@@ -25,6 +25,7 @@ class FoldBinaryOp(RewritePattern):
     """``addi/subi/muli/divsi/remsi/andi/ori/xori`` of two constants."""
 
     benefit = 2
+    num_operands = 2
 
     _FOLDABLE = frozenset({
         arith.AddIOp.OP_NAME,
@@ -61,6 +62,7 @@ class FoldAddZero(RewritePattern):
         arith.SubIOp.OP_NAME,
         arith.MulIOp.OP_NAME,
     })
+    num_operands = 2
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if op.name == arith.AddIOp.OP_NAME:
@@ -87,6 +89,7 @@ class FoldCmpI(RewritePattern):
     """``arith.cmpi`` of two constants folds to an ``i1`` constant."""
 
     op_name = arith.CmpIOp.OP_NAME
+    num_operands = 2
     benefit = 2
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:

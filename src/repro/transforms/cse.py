@@ -5,14 +5,23 @@ operands compute the same value, so later occurrences can reuse the earlier
 result (provided the earlier one dominates the later one).  Operations with
 nested regions are left to :mod:`repro.transforms.region_gvn`, which extends
 value numbering to regions (the paper's §IV-B.2).
+
+Scoping follows the dominance structure of nested regions instead of
+re-walking: the pass makes **one** traversal of the function, pushing a new
+hash scope per block and chaining it to the scope active at the operation
+that owns the block's region.  Everything recorded in an enclosing scope was
+defined *before* the region-owning operation in a block that encloses the
+nested block — exactly the definitions that dominate it — so a lookup walks
+the scope chain and reuse extends across region boundaries for free.
+Sibling blocks of one region never share a scope (neither dominates the
+other).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..ir.core import Block, Operation, Value
-from ..ir.dominance import DominanceAnalysis
 from ..ir.traits import Allocates, Pure
 from ..rewrite.pass_manager import FunctionPass
 
@@ -27,54 +36,91 @@ def _op_key(op: Operation, value_ids: Dict[Value, int]) -> Tuple:
     )
 
 
+class _Scope:
+    """One block's expression table, chained to the dominating scopes."""
+
+    __slots__ = ("table", "parent")
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.table: Dict[Tuple, Operation] = {}
+        self.parent = parent
+
+    def lookup(self, key: Tuple) -> Tuple[Optional[Operation], bool]:
+        """Find ``key`` in this scope or a dominating one.
+
+        Returns ``(operation, from_outer_scope)``.
+        """
+        existing = self.table.get(key)
+        if existing is not None:
+            return existing, False
+        scope = self.parent
+        while scope is not None:
+            existing = scope.table.get(key)
+            if existing is not None:
+                return existing, True
+            scope = scope.parent
+        return None, False
+
+
 class CSEPass(FunctionPass):
-    """Eliminate redundant pure, region-free operations."""
+    """Eliminate redundant pure, region-free operations (dominance-scoped)."""
 
     name = "cse"
 
     def run_on_function(self, func) -> None:
         value_ids: Dict[Value, int] = {}
         erased = 0
-        # Process every block; a simple scoped approach: expressions computed
-        # in a block are only reused within that block or blocks it
-        # dominates.  We conservatively restrict reuse to the same block and
-        # to values defined in enclosing regions (which always dominate).
-        dominance = DominanceAnalysis()
-        for block in self._blocks_in_order(func):
-            erased += self._run_on_block(block, value_ids, dominance)
+        outer_hits = 0
+        for region in func.regions:
+            for block in region.blocks:
+                block_erased, block_outer = self._process_block(
+                    block, _Scope(), value_ids
+                )
+                erased += block_erased
+                outer_hits += block_outer
         self.statistics.bump("ops-erased", erased)
+        if outer_hits:
+            self.statistics.bump_meter("outer-scope-hits", outer_hits)
 
-    def _blocks_in_order(self, func) -> List[Block]:
-        blocks: List[Block] = []
-        for op in func.walk():
-            for region in op.regions:
-                blocks.extend(region.blocks)
-        return blocks
-
-    def _run_on_block(
+    def _process_block(
         self,
         block: Block,
+        scope: _Scope,
         value_ids: Dict[Value, int],
-        dominance: DominanceAnalysis,
-    ) -> int:
-        seen: Dict[Tuple, Operation] = {}
+    ) -> Tuple[int, int]:
         erased = 0
+        outer_hits = 0
         self.statistics.bump_meter("ops-scanned", len(block))
         # Safe without a snapshot: the only mutation is erasing the current
         # op, and block iteration captures the next link before yielding.
         for op in block:
-            if not op.has_trait(Pure) or op.regions or not op.results:
+            if op.regions:
+                # Blocks of a nested region are dominated by everything
+                # recorded so far in this block and its enclosing scopes
+                # (the region-owning op comes after those definitions);
+                # siblings in the same region get independent child scopes.
+                for region in op.regions:
+                    for nested in region.blocks:
+                        nested_erased, nested_outer = self._process_block(
+                            nested, _Scope(scope), value_ids
+                        )
+                        erased += nested_erased
+                        outer_hits += nested_outer
+                continue
+            if not op.has_trait(Pure) or not op.results:
                 continue
             if op.has_trait(Allocates):
                 # Merging two allocations would alias two owned references
                 # onto one heap object and unbalance the reference counts.
                 continue
             key = _op_key(op, value_ids)
-            existing = seen.get(key)
+            existing, from_outer = scope.lookup(key)
             if existing is None:
-                seen[key] = op
+                scope.table[key] = op
                 continue
             op.replace_all_uses_with(existing)
             op.erase()
             erased += 1
-        return erased
+            if from_outer:
+                outer_hits += 1
+        return erased, outer_hits

@@ -36,6 +36,7 @@ class EraseDeadRegionValue(RewritePattern):
     """
 
     op_name = ValOp.OP_NAME
+    num_operands = 0
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, ValOp) or op.results_used():

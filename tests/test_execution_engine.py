@@ -1,0 +1,596 @@
+"""Tests for the register-based bytecode execution engine.
+
+Covers the bytecode compilers (one unit test per operation kind, for both
+the CFG-form MLIR input and the λrc input), the VM's differential
+equivalence against the tree-walking oracles (results, execution metrics
+and heap statistics must be *identical* — the figure suite is diffed), the
+session-level bytecode cache and the engine-selection plumbing.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.pipeline import (
+    BaselineCompiler,
+    CompilationSession,
+    MlirCompiler,
+    PipelineOptions,
+    run_baseline,
+    run_mlir,
+)
+from repro.dialects import arith, cf, lp
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import CallOp, FuncOp, GetGlobalOp, ReturnOp, SetGlobalOp
+from repro.eval.testsuite import regression_programs
+from repro.interp.bytecode import (
+    OP_BADCALL,
+    OP_BIGINT,
+    OP_CALL,
+    OP_CASE,
+    OP_CAST,
+    OP_CMP,
+    OP_CONDBR,
+    OP_CONST,
+    OP_CONSTRUCT,
+    OP_DEC,
+    OP_GETGLOBAL,
+    OP_GETLABEL,
+    OP_INC,
+    OP_INT,
+    OP_JMP,
+    OP_PAP,
+    OP_PAPEXTEND,
+    OP_PROJ,
+    OP_RESET,
+    OP_RET,
+    OP_REUSE,
+    OP_RTCALL,
+    OP_SELECT,
+    OP_SETGLOBAL,
+    OP_SWITCH,
+    OP_UNREACHABLE,
+    OP_BINARITH,
+    BytecodeProgram,
+    VirtualMachine,
+    compile_cfg_module,
+    compile_rc_program,
+)
+from repro.interp.cfg_interp import CfgInterpreter, CfgInterpreterError
+from repro.interp.rc_interp import RcInterpreter
+from repro.ir import Builder, FunctionType, InsertionPoint
+from repro.ir.core import Block
+from repro.ir.types import box, i1, i64
+from repro.lambda_pure import ir as rc_ir
+from repro.runtime import RuntimeError_
+
+REGRESSION = regression_programs()
+REGRESSION_BY_NAME = {p.name: p for p in REGRESSION}
+
+
+def assert_identical_runs(tree, vm):
+    """The engine contract: same value, metrics, heap stats and output."""
+    assert vm.value == tree.value
+    assert vm.metrics.counts == tree.metrics.counts
+    assert vm.heap_stats == tree.heap_stats
+    assert vm.output == tree.output
+
+
+# ---------------------------------------------------------------------------
+# Bytecode compilation units: the CFG flavour
+# ---------------------------------------------------------------------------
+
+
+def cfg_function(inputs=(), results=(box,), name="f"):
+    module = ModuleOp()
+    func = FuncOp(name, FunctionType(list(inputs), list(results)))
+    module.append(func)
+    return module, func, Builder(InsertionPoint.at_end(func.entry_block))
+
+
+def opcodes(bytecode: BytecodeProgram, name: str = "f"):
+    return [ins[0] for ins in bytecode.functions[name].code]
+
+
+class TestCfgCompilation:
+    def test_int_and_return(self):
+        module, func, builder = cfg_function()
+        value = builder.create(lp.IntOp, 7)
+        builder.create(ReturnOp, [value.result()])
+        compiled = compile_cfg_module(module)
+        assert compiled.functions["f"].code == [(OP_INT, 0, 7), (OP_RET, 0)]
+
+    def test_bigint(self):
+        module, func, builder = cfg_function()
+        value = builder.create(lp.BigIntOp, str(10**30))
+        builder.create(ReturnOp, [value.result()])
+        compiled = compile_cfg_module(module)
+        assert compiled.functions["f"].code[0] == (OP_BIGINT, 0, 10**30)
+
+    def test_construct_getlabel_project(self):
+        module, func, builder = cfg_function()
+        field = builder.create(lp.IntOp, 3)
+        ctor = builder.create(lp.ConstructOp, 1, [field.result()])
+        empty = builder.create(lp.ConstructOp, 2, [])
+        label = builder.create(lp.GetLabelOp, ctor.result())
+        proj = builder.create(lp.ProjectOp, ctor.result(), 0)
+        builder.create(ReturnOp, [proj.result()])
+        code = compile_cfg_module(module).functions["f"].code
+        assert code[1] == (OP_CONSTRUCT, 1, 1, (0,), "alloc_ctor")
+        assert code[2] == (OP_CONSTRUCT, 2, 2, (), "move")
+        assert code[3] == (OP_GETLABEL, 3, 1)
+        assert code[4] == (OP_PROJ, 4, 1, 0)
+
+    def test_rc_and_reuse_ops(self):
+        module, func, builder = cfg_function(inputs=(box,))
+        argument = func.entry_block.arguments[0]
+        builder.create(lp.IncOp, argument, 2)
+        builder.create(lp.DecOp, argument, 1)
+        token = builder.create(lp.ResetOp, argument)
+        reused = builder.create(lp.ReuseOp, token.result(), 4, [argument])
+        builder.create(ReturnOp, [reused.result()])
+        code = compile_cfg_module(module).functions["f"].code
+        assert code[0] == (OP_INC, 0, 2)
+        assert code[1] == (OP_DEC, 0, 1)
+        assert code[2] == (OP_RESET, 1, 0)
+        assert code[3] == (OP_REUSE, 2, 1, 4, (0,))
+
+    def test_closures(self):
+        module, func, builder = cfg_function(inputs=(box,), name="g")
+        helper = FuncOp("callee", FunctionType([box, box], [box]))
+        inner = Builder(InsertionPoint.at_end(helper.entry_block))
+        inner.create(ReturnOp, [helper.entry_block.arguments[0]])
+        module.append(helper)
+        argument = func.entry_block.arguments[0]
+        pap = builder.create(lp.PapOp, "callee", [argument])
+        missing = builder.create(lp.PapOp, "nowhere", [])
+        extended = builder.create(lp.PapExtendOp, pap.result(), [argument])
+        builder.create(ReturnOp, [extended.result()])
+        code = compile_cfg_module(module).functions["g"].code
+        assert code[0] == (OP_PAP, 1, "callee", 2, (0,))
+        assert code[1] == (OP_PAP, 2, "nowhere", None, ())
+        assert code[2] == (OP_PAPEXTEND, 3, 1, (0,))
+
+    def test_call_resolution(self):
+        module, func, builder = cfg_function(inputs=(box,))
+        callee = FuncOp("known", FunctionType([box], [box]))
+        inner = Builder(InsertionPoint.at_end(callee.entry_block))
+        inner.create(ReturnOp, [callee.entry_block.arguments[0]])
+        module.append(callee)
+        declaration = FuncOp(
+            "lean_nat_add", FunctionType([box, box], [box]),
+            create_entry_block=False,
+        )
+        module.append(declaration)
+        argument = func.entry_block.arguments[0]
+        direct = builder.create(CallOp, "known", [argument], [box])
+        runtime = builder.create(
+            CallOp, "lean_nat_add", [argument, argument], [box]
+        )
+        builder.create(CallOp, "missing_fn", [], [])
+        builder.create(ReturnOp, [runtime.result()])
+        compiled = compile_cfg_module(module)
+        code = compiled.functions["f"].code
+        assert code[0] == (OP_CALL, 1, compiled.functions["known"], (0,))
+        assert code[1] == (OP_RTCALL, 2, "lean_nat_add", (0, 0))
+        assert code[2] == (OP_BADCALL, "missing_fn")
+        assert "lean_nat_add" not in compiled.functions  # declarations skipped
+
+    def test_globals(self):
+        module, func, builder = cfg_function(inputs=(box,))
+        argument = func.entry_block.arguments[0]
+        builder.create(SetGlobalOp, "slot", argument)
+        loaded = builder.create(GetGlobalOp, "slot", box)
+        builder.create(ReturnOp, [loaded.result()])
+        code = compile_cfg_module(module).functions["f"].code
+        assert code[0] == (OP_SETGLOBAL, "slot", 0)
+        assert code[1] == (OP_GETGLOBAL, 1, "slot")
+
+    def test_arith(self):
+        module, func, builder = cfg_function(results=(i64,))
+        one = builder.create(arith.ConstantOp, 1)
+        two = builder.create(arith.ConstantOp, 2)
+        added = builder.create(arith.AddIOp, one.result(), two.result())
+        compared = builder.create(arith.CmpIOp, "slt", one.result(), two.result())
+        chosen = builder.create(
+            arith.SelectOp, compared.result(), added.result(), one.result()
+        )
+        cast = builder.create(arith.TruncIOp, chosen.result(), i64)
+        builder.create(ReturnOp, [cast.result()])
+        code = compile_cfg_module(module).functions["f"].code
+        assert code[0] == (OP_CONST, 0, 1)
+        assert code[1] == (OP_CONST, 1, 2)
+        assert code[2][0] == OP_BINARITH and code[2][1:2] + code[2][3:] == (2, 0, 1)
+        assert code[2][2](4, 5) == 9  # resolved addi callable
+        assert code[3][0] == OP_CMP and code[3][2](1, 2) == 1
+        assert code[4] == (OP_SELECT, 4, 3, 2, 0)
+        assert code[5] == (OP_CAST, 5, 4)
+
+    def test_branches_and_switch(self):
+        module, func, builder = cfg_function(inputs=(i1,), results=(i64,))
+        condition = func.entry_block.arguments[0]
+        then_block = Block([i64])
+        exit_block = Block([i64])
+        other_block = Block()
+        for block in (then_block, exit_block, other_block):
+            func.body.add_block(block)
+        one = builder.create(arith.ConstantOp, 1)
+        builder.create(
+            cf.CondBranchOp, condition, then_block, exit_block,
+            [one.result()], [one.result()],
+        )
+        then_builder = Builder(InsertionPoint.at_end(then_block))
+        then_builder.create(
+            cf.SwitchOp, then_block.arguments[0], other_block,
+            [3, 5], [exit_block, exit_block],
+        )
+        exit_builder = Builder(InsertionPoint.at_end(exit_block))
+        exit_builder.create(ReturnOp, [exit_block.arguments[0]])
+        other_builder = Builder(InsertionPoint.at_end(other_block))
+        other_builder.create(cf.UnreachableOp)
+        code = compile_cfg_module(module).functions["f"].code
+        condbr = code[1]
+        assert condbr[0] == OP_CONDBR and condbr[1] == 0
+        switch_pc, ret_pc = condbr[2], condbr[5]
+        assert code[switch_pc][0] == OP_SWITCH
+        assert code[switch_pc][2] == {3: ret_pc, 5: ret_pc}
+        unreachable_pc = code[switch_pc][3]
+        assert code[unreachable_pc][0] == OP_UNREACHABLE
+        assert code[ret_pc][0] == OP_RET
+
+    def test_unconditional_branch_forwards_arguments(self):
+        module, func, builder = cfg_function(results=(i64,))
+        target = Block([i64])
+        func.body.add_block(target)
+        one = builder.create(arith.ConstantOp, 41)
+        builder.create(cf.BranchOp, target, [one.result()])
+        target_builder = Builder(InsertionPoint.at_end(target))
+        target_builder.create(ReturnOp, [target.arguments[0]])
+        code = compile_cfg_module(module).functions["f"].code
+        constant_reg = code[0][1]
+        assert code[1][0] == OP_JMP
+        assert code[1][2] == (constant_reg,)  # forwards the constant ...
+        assert len(code[1][3]) == 1           # ... into the block argument
+
+
+# ---------------------------------------------------------------------------
+# Bytecode compilation units: the λrc flavour
+# ---------------------------------------------------------------------------
+
+
+def rc_program(body, params=(), name="main", extra=()):
+    program = rc_ir.Program()
+    program.add_function(rc_ir.Function(name, list(params), body))
+    for fn in extra:
+        program.add_function(fn)
+    return program
+
+
+class TestRcCompilation:
+    def test_let_literal_ret(self):
+        body = rc_ir.Let("x", rc_ir.Lit(5), rc_ir.Ret("x"))
+        compiled = compile_rc_program(rc_program(body))
+        assert compiled.flavor == "rc"
+        assert compiled.functions["main"].code == [(OP_INT, 0, 5), (OP_RET, 0)]
+
+    def test_every_expression_kind(self):
+        body = rc_ir.Let(
+            "x", rc_ir.Lit(1),
+            rc_ir.Let(
+                "c", rc_ir.Ctor(2, ["x"]),
+                rc_ir.Let(
+                    "p", rc_ir.Proj(0, "c"),
+                    rc_ir.Let(
+                        "t", rc_ir.Reset("c"),
+                        rc_ir.Let(
+                            "r", rc_ir.Reuse("t", 3, ["p"]),
+                            rc_ir.Let(
+                                "s", rc_ir.Call("lean_nat_add", ["x", "x"]),
+                                rc_ir.Let(
+                                    "f", rc_ir.PAp("helper", ["s"]),
+                                    rc_ir.Let(
+                                        "a", rc_ir.App("f", ["r"]),
+                                        rc_ir.Ret("a"),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        helper = rc_ir.Function("helper", ["u", "v"], rc_ir.Ret("u"))
+        compiled = compile_rc_program(rc_program(body, extra=[helper]))
+        kinds = [ins[0] for ins in compiled.functions["main"].code]
+        assert kinds == [
+            OP_INT, OP_CONSTRUCT, OP_PROJ, OP_RESET, OP_REUSE,
+            OP_RTCALL, OP_PAP, OP_PAPEXTEND, OP_RET,
+        ]
+        pap = compiled.functions["main"].code[6]
+        assert pap[2] == "helper" and pap[3] == 2
+
+    def test_inc_dec_and_case(self):
+        body = rc_ir.Inc(
+            "n",
+            rc_ir.Dec(
+                "n",
+                rc_ir.Case(
+                    "n",
+                    alts=[rc_ir.CaseAlt(0, "zero", rc_ir.Ret("n"))],
+                    default=rc_ir.Unreachable(),
+                ),
+                count=1,
+            ),
+            count=2,
+        )
+        compiled = compile_rc_program(rc_program(body, params=("n",)))
+        code = compiled.functions["main"].code
+        assert code[0] == (OP_INC, 0, 2)
+        assert code[1] == (OP_DEC, 0, 1)
+        assert code[2][0] == OP_CASE and code[2][1] == 0
+        assert code[code[2][2][0]][0] == OP_RET
+        assert code[code[2][3]][0] == OP_UNREACHABLE
+
+    def test_join_point_becomes_jump(self):
+        body = rc_ir.JDecl(
+            "j", ["a"], rc_ir.Ret("a"),
+            rc_ir.Let("x", rc_ir.Lit(9), rc_ir.Jmp("j", ["x"])),
+        )
+        compiled = compile_rc_program(rc_program(body))
+        code = compiled.functions["main"].code
+        jump = next(ins for ins in code if ins[0] == OP_JMP)
+        assert code[jump[1]][0] == OP_RET
+        assert jump[2] != jump[3]  # argument register copied into the param slot
+
+    def test_shadowing_after_join_declaration(self):
+        # let x := 1; jdecl j() := ret x; let x := 2; jmp j()
+        # The tree-walker restores the captured environment on the jump; the
+        # compiler must alpha-rename the second x onto a fresh register so
+        # the join body still reads 1.
+        body = rc_ir.Let(
+            "x", rc_ir.Lit(1),
+            rc_ir.JDecl(
+                "j", [], rc_ir.Ret("x"),
+                rc_ir.Let("x", rc_ir.Lit(2), rc_ir.Jmp("j", [])),
+            ),
+        )
+        program = rc_program(body)
+        tree = RcInterpreter(program).run_main()
+        vm = VirtualMachine(compile_rc_program(program)).run_main()
+        assert tree.value == vm.value == 1
+
+    def test_self_recursive_join_loop(self):
+        # jdecl loop(i, acc) := case i of 0 => ret acc | _ => jmp loop(i-1,…)
+        body = rc_ir.JDecl(
+            "loop", ["i", "acc"],
+            rc_ir.Case(
+                "i",
+                alts=[rc_ir.CaseAlt(0, "zero", rc_ir.Ret("acc"))],
+                default=rc_ir.Let(
+                    "one", rc_ir.Lit(1),
+                    rc_ir.Let(
+                        "i2", rc_ir.Call("lean_nat_sub", ["i", "one"]),
+                        rc_ir.Let(
+                            "acc2", rc_ir.Call("lean_nat_add", ["acc", "i"]),
+                            rc_ir.Jmp("loop", ["i2", "acc2"]),
+                        ),
+                    ),
+                ),
+            ),
+            rc_ir.Let(
+                "n", rc_ir.Lit(10),
+                rc_ir.Let("z", rc_ir.Lit(0), rc_ir.Jmp("loop", ["n", "z"])),
+            ),
+        )
+        program = rc_program(body)
+        tree = RcInterpreter(program).run_main()
+        vm = VirtualMachine(compile_rc_program(program)).run_main()
+        assert_identical_runs(tree, vm)
+        assert vm.value == 55
+
+
+# ---------------------------------------------------------------------------
+# VM error behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestVmErrors:
+    def test_unknown_call_raises_flavor_error(self):
+        body = rc_ir.Let("x", rc_ir.Call("nowhere", []), rc_ir.Ret("x"))
+        with pytest.raises(RuntimeError_, match="unknown function"):
+            VirtualMachine(compile_rc_program(rc_program(body))).run_main()
+
+    def test_pap_of_unknown_function_raises(self):
+        body = rc_ir.Let("x", rc_ir.PAp("nowhere", []), rc_ir.Ret("x"))
+        with pytest.raises(RuntimeError_, match="pap of unknown function"):
+            VirtualMachine(compile_rc_program(rc_program(body))).run_main()
+
+    def test_unreachable_raises(self):
+        module, func, builder = cfg_function(name="main")
+        builder.create(cf.UnreachableOp)
+        with pytest.raises(CfgInterpreterError, match="cf.unreachable"):
+            VirtualMachine(compile_cfg_module(module)).run_main()
+
+    def test_case_without_alternative_raises(self):
+        body = rc_ir.Case("n", alts=[rc_ir.CaseAlt(7, "seven", rc_ir.Ret("n"))])
+        program = rc_program(body, params=("n",))
+        vm = VirtualMachine(compile_rc_program(program))
+        from repro.runtime import Scalar
+
+        with pytest.raises(RuntimeError_, match="no alternative"):
+            vm.run_main([Scalar(3)])
+
+    def test_arity_mismatch_raises(self):
+        body = rc_ir.Ret("a")
+        vm = VirtualMachine(compile_rc_program(rc_program(body, params=("a",))))
+        with pytest.raises(RuntimeError_, match="expected 1"):
+            vm.run_main([])
+
+
+# ---------------------------------------------------------------------------
+# Differential: the VM against the tree-walking oracles
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled_cfg(name: str, variant: str):
+    options = (
+        PipelineOptions()
+        if variant == "default"
+        else PipelineOptions.variant(variant)
+    )
+    return MlirCompiler(options).compile(REGRESSION_BY_NAME[name].source).cfg_module
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled_rc(name: str, rc_mode: str):
+    compiler = BaselineCompiler(rc_mode=rc_mode)
+    return compiler.compile(REGRESSION_BY_NAME[name].source).rc_program
+
+
+@pytest.mark.parametrize(
+    "program", REGRESSION, ids=[p.name for p in REGRESSION]
+)
+def test_every_testsuite_program_cfg_vm_matches_tree(program):
+    module = _compiled_cfg(program.name, "default")
+    tree = CfgInterpreter(module).run_main()
+    vm = VirtualMachine(compile_cfg_module(module)).run_main()
+    assert_identical_runs(tree, vm)
+
+
+@pytest.mark.parametrize(
+    "program", REGRESSION, ids=[p.name for p in REGRESSION]
+)
+def test_every_testsuite_program_rc_vm_matches_tree(program):
+    rc = _compiled_rc(program.name, "naive")
+    tree = RcInterpreter(rc).run_main()
+    vm = VirtualMachine(compile_rc_program(rc)).run_main()
+    assert_identical_runs(tree, vm)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(REGRESSION_BY_NAME)),
+    variant=st.sampled_from(["default", "rgn", "none", "rc-opt+reuse"]),
+)
+def test_hypothesis_cfg_differential(name, variant):
+    module = _compiled_cfg(name, variant)
+    tree = CfgInterpreter(module).run_main()
+    vm = VirtualMachine(compile_cfg_module(module)).run_main()
+    assert_identical_runs(tree, vm)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(sorted(REGRESSION_BY_NAME)),
+    rc_mode=st.sampled_from(["naive", "opt", "opt+reuse"]),
+)
+def test_hypothesis_rc_differential(name, rc_mode):
+    rc = _compiled_rc(name, rc_mode)
+    tree = RcInterpreter(rc).run_main()
+    vm = VirtualMachine(compile_rc_program(rc)).run_main()
+    assert_identical_runs(tree, vm)
+
+
+# ---------------------------------------------------------------------------
+# Engine selection plumbing
+# ---------------------------------------------------------------------------
+
+TINY = "def main : Nat := 20 + 22"
+
+
+class TestEngineSelection:
+    def test_run_mlir_engines_agree(self):
+        vm = run_mlir(TINY, PipelineOptions(execution_engine="vm"))
+        tree = run_mlir(TINY, PipelineOptions(execution_engine="tree"))
+        assert_identical_runs(tree, vm)
+
+    def test_run_baseline_engines_agree(self):
+        vm = run_baseline(TINY, execution_engine="vm")
+        tree = run_baseline(TINY, execution_engine="tree")
+        assert_identical_runs(tree, vm)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            MlirCompiler(PipelineOptions(execution_engine="jit"))
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            BaselineCompiler(execution_engine="jit")
+
+    def test_session_caches_bytecode_per_module(self):
+        session = CompilationSession()
+        compiler = MlirCompiler(PipelineOptions(), session=session)
+        module = compiler.compile(TINY).cfg_module
+        first = session.bytecode_for(module)
+        second = session.bytecode_for(module)
+        assert first is second
+        assert session.stats["bytecode_hits"] == 1
+        assert session.stats["bytecode_misses"] == 1
+        other = compiler.compile("def main : Nat := 2").cfg_module
+        assert session.bytecode_for(other) is not first
+        assert session.stats["bytecode_misses"] == 2
+
+    def test_cli_execution_engine_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "p.lean"
+        path.write_text(TINY)
+        assert main([str(path), "--execution-engine", "vm"]) == 0
+        vm_out = capsys.readouterr().out
+        assert main([str(path), "--execution-engine", "tree"]) == 0
+        tree_out = capsys.readouterr().out
+        assert vm_out == tree_out
+        assert "result: 42" in vm_out
+
+    def test_harness_engines_produce_identical_figures(self):
+        from repro.eval.figures import figure9_report
+        from repro.eval.harness import EvaluationHarness
+
+        sizes = {"filter": {"length": 8}, "digits": {"reps": 2, "span": 5}}
+        vm_report = figure9_report(EvaluationHarness(sizes))
+        tree_report = figure9_report(
+            EvaluationHarness(sizes, execution_engine="tree")
+        )
+        assert vm_report == tree_report
+
+
+class TestResolvedArithmeticDrift:
+    """The VM's resolved callables must track the shared arith helpers."""
+
+    GRID = [-7, -2, -1, 0, 1, 2, 3, 7, 10]
+
+    def test_binary_fns_match_evaluate_binary(self):
+        from repro.interp.bytecode import _BINARY_FNS
+
+        for name, fn in _BINARY_FNS.items():
+            for a in self.GRID:
+                for b in self.GRID:
+                    try:
+                        expected = arith.evaluate_binary(name, a, b)
+                    except ZeroDivisionError as oracle_error:
+                        with pytest.raises(ZeroDivisionError) as info:
+                            fn(a, b)
+                        assert str(info.value) == str(oracle_error)
+                        continue
+                    assert fn(a, b) == expected, (name, a, b)
+
+    def test_cmp_fns_match_evaluate_cmpi(self):
+        from repro.interp.bytecode import _CMP_FNS
+
+        assert set(_CMP_FNS) == set(arith.CMP_PREDICATES)
+        for predicate, fn in _CMP_FNS.items():
+            for a in self.GRID:
+                for b in self.GRID:
+                    assert fn(a, b) == arith.evaluate_cmpi(predicate, a, b)
+
+
+class TestSwitchDispatchTable:
+    def test_tree_walker_builds_dispatch_tables(self):
+        source = REGRESSION_BY_NAME["match_multi_scrutinee"].source
+        module = MlirCompiler().compile(source).cfg_module
+        interpreter = CfgInterpreter(module)
+        result = interpreter.run_main()
+        assert result.value == 150
+        for op, table in interpreter._switch_tables.items():
+            assert table == dict(zip(op.case_values, op.case_dests))

@@ -303,6 +303,72 @@ class TestPatternSet:
         assert list(patterns.candidates(add)) == [high, low]
 
 
+class TestOperandArityPrefilter:
+    """The operand-arity prefilter on the pattern index (drain seeding)."""
+
+    class ExactlyTwo(RewritePattern):
+        op_name = arith.ConstantOp.OP_NAME
+        num_operands = 2
+
+        def match_and_rewrite(self, op, rewriter):  # pragma: no cover
+            raise AssertionError("prefiltered pattern must never be tried")
+
+    class AtLeastOneGeneric(RewritePattern):
+        min_num_operands = 1
+
+        def match_and_rewrite(self, op, rewriter):
+            return False
+
+    def test_exact_arity_mismatch_is_skipped_and_counted(self):
+        from repro.rewrite.driver import GreedyRewriteResult
+
+        patterns = PatternSet([self.ExactlyTwo()])
+        module = ModuleOp()
+        func, builder = new_func(module)
+        constant = builder.create(arith.ConstantOp, 1)  # zero operands
+        result = GreedyRewriteResult()
+        assert list(patterns.candidates(constant, result)) == []
+        assert result.prefilter_skips == 1
+
+    def test_min_arity_applies_to_generic_patterns(self):
+        from repro.rewrite.driver import GreedyRewriteResult
+
+        generic = self.AtLeastOneGeneric()
+        patterns = PatternSet([generic])
+        module = ModuleOp()
+        func, builder = new_func(module)
+        constant = builder.create(arith.ConstantOp, 1)
+        add = builder.create(arith.AddIOp, constant.result(), constant.result())
+        result = GreedyRewriteResult()
+        assert list(patterns.candidates(constant, result)) == []
+        assert list(patterns.candidates(add, result)) == [generic]
+        assert result.prefilter_skips == 1
+
+    def test_driver_never_attempts_prefiltered_patterns(self):
+        # ExactlyTwo raises if matched; driving it over a module of
+        # zero-operand constants must be a no-op with counted skips.
+        module, func = fold_chain_func(depth=2)
+        result = apply_patterns_greedily(func, [self.ExactlyTwo()])
+        assert result.match_attempts == 0
+        assert result.prefilter_skips == 3  # one per constant op
+        assert result.converged
+
+    def test_canonicalization_drain_reports_skips_in_statistics(self):
+        from repro.rewrite.driver import PatternRewritePass
+
+        class TwoOnlyPass(PatternRewritePass):
+            name = "two-only"
+
+            def patterns(self):
+                return [TestOperandArityPrefilter.ExactlyTwo()]
+
+        module, _ = fold_chain_func(depth=2)
+        pass_ = TwoOnlyPass()
+        manager = PassManager([pass_], verify_each=False)
+        manager.run(module)
+        assert pass_.statistics.get("prefilter-skips") == 3
+
+
 class CountingPass(Pass):
     name = "counting"
 
