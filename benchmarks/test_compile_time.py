@@ -14,10 +14,17 @@ plus the acceptance criteria of the session-layer work (PR 4):
 * region-gvn memoisation — fingerprint hashing work on ``rbmap_checkpoint``
   drops at least 3x versus the uncached-equivalent counter,
 * sharding — a ``--jobs 2`` suite run reaches byte-identical final IR (and
-  the same measurement set) as a sequential run.
+  the same measurement set) as a sequential run,
+
+plus the acceptance criterion of the unified telemetry subsystem:
+
+* overhead — with no telemetry session active the instrumented call sites
+  talk to the no-op singletons, record nothing, and keep the compile
+  within noise of a telemetry-on run.
 """
 
 import json
+import time
 
 import pytest
 
@@ -36,6 +43,7 @@ from repro.eval.compile_bench import (
     run_suite,
 )
 from repro.eval.harness import measurement_options
+from repro.telemetry import telemetry_session
 
 
 @pytest.fixture(scope="module")
@@ -189,3 +197,49 @@ class TestBenchJson:
         for phase in ("frontend", "rc-insert", "lp-to-rgn", "rgn-opt", "rgn-to-cf"):
             assert phase in measurement.phase_seconds, phase
         assert sum(measurement.phase_seconds.values()) <= measurement.total_seconds
+
+
+class TestTelemetryOverhead:
+    """Telemetry acceptance guard: the disabled path stays within noise."""
+
+    @pytest.fixture(scope="class")
+    def source(self):
+        return benchmark_sources(
+            {"rbmap_checkpoint": DEFAULT_SIZES["rbmap_checkpoint"]}
+        )["rbmap_checkpoint"]
+
+    def test_disabled_telemetry_records_nothing(self, source):
+        # A run *outside* the session must leave the session's tracer and
+        # registry untouched — proof the instrumented call sites resolve
+        # the active session per call instead of caching a live one.
+        compiler = MlirCompiler(measurement_options("rgn"))
+        with telemetry_session() as session:
+            pass
+        compiler.compile(source)
+        assert session.tracer.roots == []
+        assert len(session.metrics) == 0
+
+    def test_telemetry_off_compile_not_slower_than_on(self, source):
+        # Best-of-3 compile each way.  The disabled path is a handful of
+        # no-op calls per pass/phase; the generous 1.5x bound only fails
+        # if disabled telemetry somehow costs *more* than live recording
+        # plus noise.
+        def best_of(runs, session_active):
+            samples = []
+            for _ in range(runs):
+                compiler = MlirCompiler(measurement_options("rgn"))
+                start = time.perf_counter()
+                if session_active:
+                    with telemetry_session():
+                        compiler.compile(source)
+                else:
+                    compiler.compile(source)
+                samples.append(time.perf_counter() - start)
+            return min(samples)
+
+        off = best_of(3, session_active=False)
+        on = best_of(3, session_active=True)
+        assert off <= on * 1.5 + 0.05, (
+            f"telemetry-off compile ({off * 1e3:.1f} ms) slower than "
+            f"telemetry-on ({on * 1e3:.1f} ms) beyond noise"
+        )

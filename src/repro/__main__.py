@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from .backend.pipeline import (
@@ -35,6 +36,7 @@ from .backend.pipeline import (
 from .interp.bytecode import EXECUTION_ENGINES
 from .ir.printer import print_module
 from .rewrite.driver import ENGINES
+from .telemetry import MetricsRegistry, Tracer, telemetry_session
 
 VARIANTS = ("default", "baseline", *FIGURE10_VARIANTS, *RC_VARIANTS)
 
@@ -69,6 +71,25 @@ def _print_run_report(result, *, show_metrics: bool) -> None:
         f"reuse_ops={metrics.counts.get('reuse', 0)} "
         f"rc_events={rc_events}"
     )
+
+
+def _print_exec_stats(registry: MetricsRegistry) -> None:
+    """Sorted VM instruction-frequency table from ``vm.instr.freq.*``."""
+    prefix = "vm.instr.freq."
+    frequencies = {
+        name[len(prefix):]: count
+        for name, count in registry.snapshot().items()
+        if name.startswith(prefix)
+    }
+    total = sum(frequencies.values())
+    print(f"[exec-stats] {total} instructions across "
+          f"{len(frequencies)} opcodes")
+    print(f"  {'opcode':<16s} {'count':>10s} {'share':>7s}")
+    for name, count in sorted(
+        frequencies.items(), key=lambda item: (-item[1], item[0])
+    ):
+        share = 100.0 * count / total if total else 0.0
+        print(f"  {name:<16s} {count:>10d} {share:>6.1f}%")
 
 
 def _print_rc_report(report) -> None:
@@ -123,7 +144,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-check-heap", action="store_true",
         help="skip the zero-leak / no-double-free heap check at exit",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON (load in Perfetto / "
+        "chrome://tracing) covering the whole compile and run",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write a JSON snapshot of the unified metrics registry",
+    )
+    parser.add_argument(
+        "--exec-stats", action="store_true",
+        help="print a sorted VM instruction-frequency table after the run "
+        "(requires --execution-engine vm)",
+    )
+    parser.add_argument(
+        "--print-ir-after", metavar="PASS", action="append", default=[],
+        help="print the module's IR after the named pass runs "
+        "(repeatable; lp+rgn pipeline only)",
+    )
+    parser.add_argument(
+        "--print-ir-after-all", action="store_true",
+        help="print the module's IR after every pass (lp+rgn pipeline only)",
+    )
     args = parser.parse_args(argv)
+
+    if args.exec_stats and args.execution_engine != "vm":
+        print(
+            "error: --exec-stats needs the bytecode VM "
+            "(--execution-engine vm)",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         source = _read_source(args.file)
@@ -131,6 +183,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    telemetry_on = bool(args.trace_out or args.metrics_json or args.exec_stats)
+    tracer = Tracer() if telemetry_on else None
+    registry = MetricsRegistry() if telemetry_on else None
+    scope = (
+        telemetry_session(tracer=tracer, metrics=registry)
+        if telemetry_on
+        else nullcontext()
+    )
+    try:
+        with scope:
+            code = _dispatch(args, source)
+    finally:
+        # Trace and metrics snapshots are written even when the compile or
+        # run failed — the failing trace is usually the interesting one.
+        if args.trace_out:
+            tracer.write_chrome_trace(args.trace_out)
+        if args.metrics_json:
+            registry.write_json(args.metrics_json)
+    if code == 0 and args.exec_stats:
+        _print_exec_stats(registry)
+    return code
+
+
+def _dispatch(args, source: str) -> int:
+    """Compile, optionally emit, and run — inside any telemetry scope."""
     check_heap = not args.no_check_heap
     # One compilation session per CLI invocation: repeated compiles of the
     # same source (e.g. driver scripts importing main) share frontend work.
@@ -167,6 +244,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 options.rewrite_engine = args.rewrite_engine
             options.execution_engine = args.execution_engine
             options.verbose_passes = args.verbose
+            options.print_ir_after = tuple(args.print_ir_after)
+            options.print_ir_after_all = args.print_ir_after_all
             compiler = MlirCompiler(options, session=session)
             artifacts = compiler.compile(source)
             if args.emit == "c":

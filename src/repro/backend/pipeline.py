@@ -28,7 +28,7 @@ import copy
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..dialects.builtin import ModuleOp
 from ..interp.bytecode import (
@@ -48,6 +48,13 @@ from ..lean.parser import parse_program
 from ..lean.typecheck import check_program
 from ..rc_opt import LpRcFusionPass, RcOptReport, insert_optimized_rc
 from ..rewrite.pass_manager import PassManager
+from ..telemetry import (
+    PassInstrumentation,
+    PrintIRInstrumentation,
+    get_metrics,
+    get_tracer,
+    metric_component,
+)
 from ..transforms.canonicalize import CanonicalizePass, canonicalization_patterns
 from ..transforms.cse import CSEPass
 from ..transforms.dce import DeadCodeEliminationPass
@@ -91,6 +98,14 @@ class PipelineOptions:
     verify_each: bool = True
     #: Print per-pass wall time and rewrite counters while compiling.
     verbose_passes: bool = False
+    #: Pass names whose output IR is printed after they run
+    #: (``--print-ir-after=<pass>``, MLIR's ``--mlir-print-ir-after``).
+    print_ir_after: Tuple[str, ...] = ()
+    #: Print the module after every pass (``--print-ir-after-all``).
+    print_ir_after_all: bool = False
+    #: On a pass failure (pattern non-convergence or a ``verify_each``
+    #: rejection), dump the offending function's IR and the pass name.
+    print_ir_on_failure: bool = True
 
     @classmethod
     def variant(cls, name: str) -> "PipelineOptions":
@@ -192,13 +207,20 @@ class CompilationSession:
         Always returns a fresh deep copy — callers own the result.
         """
         cached = self._pure_cache.get(source)
-        if cached is None:
-            self.misses += 1
-            cached = Frontend.to_pure(source)
-            self._pure_cache[source] = cached
-        else:
-            self.hits += 1
-        return copy.deepcopy(cached)
+        hit = cached is not None
+        with get_tracer().span("session:frontend", category="session", hit=hit):
+            if cached is None:
+                self.misses += 1
+                cached = Frontend.to_pure(source)
+                self._pure_cache[source] = cached
+            else:
+                self.hits += 1
+            registry = get_metrics()
+            if registry.enabled:
+                registry.bump(
+                    "session.frontend.hits" if hit else "session.frontend.misses"
+                )
+            return copy.deepcopy(cached)
 
     def bytecode_for(self, module: ModuleOp) -> BytecodeProgram:
         """Bytecode for a CFG-form ``module``, compiled once per module."""
@@ -217,10 +239,15 @@ class CompilationSession:
     def _cached_bytecode(self, source: object, compiler) -> BytecodeProgram:
         key = id(source)
         entry = self._bytecode_cache.get(key)
+        registry = get_metrics()
         if entry is not None and entry[0] is source:
             self.bytecode_hits += 1
+            if registry.enabled:
+                registry.bump("session.bytecode.hits")
             return entry[1]
         self.bytecode_misses += 1
+        if registry.enabled:
+            registry.bump("session.bytecode.misses")
         bytecode = compiler(source)
         while len(self._bytecode_cache) >= self.BYTECODE_CACHE_LIMIT:
             # FIFO eviction (dicts preserve insertion order): repeated
@@ -242,14 +269,55 @@ class CompilationSession:
         }
 
 
-@contextmanager
-def _phase(timings: Dict[str, float], name: str):
-    """Accumulate the wall time of one compilation phase into ``timings``."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        timings[name] = timings.get(name, 0.0) + (time.perf_counter() - start)
+class PhaseTimer:
+    """Per-phase compile bookkeeping shared by both compilers.
+
+    One object per compile owns the ``phase_timings`` dict the
+    :class:`CompilationArtifacts` carry; :meth:`phase` accumulates the
+    wall time of one phase, opens a telemetry span (``phase:<name>``) and
+    publishes ``pipeline.phase.<name>.seconds`` into the active metrics
+    registry.  Replaces the timing bookkeeping both
+    :class:`BaselineCompiler` and :class:`MlirCompiler` used to carry
+    separately.
+    """
+
+    __slots__ = ("timings",)
+
+    def __init__(self):
+        self.timings: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        with get_tracer().span("phase:" + name, category="phase"):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.timings[name] = self.timings.get(name, 0.0) + elapsed
+                registry = get_metrics()
+                if registry.enabled:
+                    registry.observe(
+                        "pipeline.phase." + metric_component(name) + ".seconds",
+                        elapsed,
+                    )
+
+
+def pass_instrumentations(options: PipelineOptions) -> List[PassInstrumentation]:
+    """The pass-instrumentation stack implied by ``options``."""
+    if not (
+        options.print_ir_after
+        or options.print_ir_after_all
+        or options.print_ir_on_failure
+    ):
+        return []
+    return [
+        PrintIRInstrumentation(
+            print_after=options.print_ir_after,
+            print_after_all=options.print_ir_after_all,
+            print_on_failure=options.print_ir_on_failure,
+        )
+    ]
 
 
 def canonicalization_drain_patterns(options: PipelineOptions) -> List:
@@ -295,7 +363,10 @@ def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
         )
     passes.append(DeadCodeEliminationPass())
     return PassManager(
-        passes, verify_each=options.verify_each, verbose=options.verbose_passes
+        passes,
+        verify_each=options.verify_each,
+        verbose=options.verbose_passes,
+        instrumentations=pass_instrumentations(options),
     )
 
 
@@ -318,30 +389,34 @@ class BaselineCompiler:
         self.execution_engine = execution_engine
 
     def compile(self, source: str) -> CompilationArtifacts:
-        timings: Dict[str, float] = {}
-        with _phase(timings, "frontend"):
-            pure = (
-                self.session.frontend(source)
-                if self.session is not None
-                else Frontend.to_pure(source)
-            )
-        with _phase(timings, "simplify"):
-            optimized = (
-                simplify_program(copy.deepcopy(pure))
-                if self.enable_simplifier
-                else pure
-            )
-        with _phase(timings, "rc-insert"):
-            rc, rc_report = insert_optimized_rc(optimized, self.rc_mode)
-        with _phase(timings, "c-emit"):
-            c_source = emit_c_source(rc)
+        phases = PhaseTimer()
+        with get_tracer().span(
+            "compile", category="pipeline", pipeline="baseline",
+            rc_mode=self.rc_mode,
+        ):
+            with phases.phase("frontend"):
+                pure = (
+                    self.session.frontend(source)
+                    if self.session is not None
+                    else Frontend.to_pure(source)
+                )
+            with phases.phase("simplify"):
+                optimized = (
+                    simplify_program(copy.deepcopy(pure))
+                    if self.enable_simplifier
+                    else pure
+                )
+            with phases.phase("rc-insert"):
+                rc, rc_report = insert_optimized_rc(optimized, self.rc_mode)
+            with phases.phase("c-emit"):
+                c_source = emit_c_source(rc)
         return CompilationArtifacts(
             surface_source=source,
             pure_program=pure,
             rc_program=rc,
             c_source=c_source,
             rc_report=rc_report,
-            phase_timings=timings,
+            phase_timings=phases.timings,
         )
 
     def run(self, source: str, *, check_heap: bool = True) -> RunResult:
@@ -379,59 +454,65 @@ class MlirCompiler:
         lowering_context = (
             session.lowering_context if session is not None else LoweringContext()
         )
-        timings: Dict[str, float] = {}
-        with _phase(timings, "frontend"):
-            pure = (
-                session.frontend(source)
-                if session is not None
-                else Frontend.to_pure(source)
-            )
-        with _phase(timings, "simplify"):
-            staged = copy.deepcopy(pure)
-            if options.run_lambda_simplifier:
-                staged = simplify_program(
-                    staged, enable_simp_case=options.enable_simp_case
+        phases = PhaseTimer()
+        with get_tracer().span(
+            "compile", category="pipeline", pipeline="lp+rgn",
+            rc_mode=options.rc_mode,
+            rewrite_engine=options.rewrite_engine,
+        ):
+            with phases.phase("frontend"):
+                pure = (
+                    session.frontend(source)
+                    if session is not None
+                    else Frontend.to_pure(source)
                 )
-        with _phase(timings, "rc-insert"):
-            rc, rc_report = insert_optimized_rc(staged, options.rc_mode)
-        with _phase(timings, "lp-codegen"):
-            lp_module = generate_lp_module(rc, lowering_context)
-        artifacts = CompilationArtifacts(
-            surface_source=source,
-            pure_program=pure,
-            rc_program=rc,
-            lp_module=lp_module,
-            rc_report=rc_report,
-            phase_timings=timings,
-        )
-        artifacts.module_op_counts["lp"] = sum(1 for _ in lp_module.walk()) - 1
-        if options.rc_mode != "naive":
-            # The SSA twin of dup/drop fusion: catches pairs exposed by
-            # lowering λrc trees into lp blocks.
-            with _phase(timings, "lp-fusion"):
-                lp_fusion = PassManager(
-                    [LpRcFusionPass()],
-                    verify_each=options.verify_each,
-                    verbose=options.verbose_passes,
+            with phases.phase("simplify"):
+                staged = copy.deepcopy(pure)
+                if options.run_lambda_simplifier:
+                    staged = simplify_program(
+                        staged, enable_simp_case=options.enable_simp_case
+                    )
+            with phases.phase("rc-insert"):
+                rc, rc_report = insert_optimized_rc(staged, options.rc_mode)
+            with phases.phase("lp-codegen"):
+                lp_module = generate_lp_module(rc, lowering_context)
+            artifacts = CompilationArtifacts(
+                surface_source=source,
+                pure_program=pure,
+                rc_program=rc,
+                lp_module=lp_module,
+                rc_report=rc_report,
+                phase_timings=phases.timings,
+            )
+            artifacts.module_op_counts["lp"] = sum(1 for _ in lp_module.walk()) - 1
+            if options.rc_mode != "naive":
+                # The SSA twin of dup/drop fusion: catches pairs exposed by
+                # lowering λrc trees into lp blocks.
+                with phases.phase("lp-fusion"):
+                    lp_fusion = PassManager(
+                        [LpRcFusionPass()],
+                        verify_each=options.verify_each,
+                        verbose=options.verbose_passes,
+                        instrumentations=pass_instrumentations(options),
+                    )
+                    lp_fusion.run(lp_module)
+                artifacts.pass_statistics.update(
+                    (name, stats.counters)
+                    for name, stats in lp_fusion.statistics.items()
                 )
-                lp_fusion.run(lp_module)
-            artifacts.pass_statistics.update(
-                (name, stats.counters)
-                for name, stats in lp_fusion.statistics.items()
-            )
-        with _phase(timings, "lp-to-rgn"):
-            cfg_module = lower_lp_to_rgn(lp_module, lowering_context)
-        artifacts.module_op_counts["rgn"] = sum(1 for _ in cfg_module.walk()) - 1
-        if options.run_rgn_optimizations:
-            with _phase(timings, "rgn-opt"):
-                pipeline = rgn_optimization_pipeline(options)
-                pipeline.run(cfg_module)
-            artifacts.pass_statistics.update(
-                (name, stats.counters)
-                for name, stats in pipeline.statistics.items()
-            )
-        with _phase(timings, "rgn-to-cf"):
-            cfg_module = lower_rgn_to_cf(cfg_module)
+            with phases.phase("lp-to-rgn"):
+                cfg_module = lower_lp_to_rgn(lp_module, lowering_context)
+            artifacts.module_op_counts["rgn"] = sum(1 for _ in cfg_module.walk()) - 1
+            if options.run_rgn_optimizations:
+                with phases.phase("rgn-opt"):
+                    pipeline = rgn_optimization_pipeline(options)
+                    pipeline.run(cfg_module)
+                artifacts.pass_statistics.update(
+                    (name, stats.counters)
+                    for name, stats in pipeline.statistics.items()
+                )
+            with phases.phase("rgn-to-cf"):
+                cfg_module = lower_rgn_to_cf(cfg_module)
         artifacts.cfg_module = cfg_module
         return artifacts
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -44,6 +45,14 @@ from ..ir.builder import Builder, InsertionPoint
 from ..ir.printer import print_module
 from ..ir.types import FunctionType, i1
 from ..rewrite import GreedyRewriteResult, apply_patterns_greedily
+from ..telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    measured_metrics,
+    telemetry_session,
+)
 from ..transforms.canonicalize import canonicalization_patterns
 from .benchmarks import DEFAULT_SIZES, benchmark_sources
 from .harness import measurement_options, run_sharded
@@ -89,6 +98,10 @@ class CompileMeasurement:
     driver_iterations: int = 0
     #: Printed final IR, used by the differential check (not serialised).
     ir_text: str = ""
+    #: Unified-telemetry metrics delta recorded while compiling (empty
+    #: unless a telemetry session was active; in-memory only — the
+    #: BENCH_compile.json payload stays schema-stable).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def as_json(self) -> Dict[str, object]:
         return {
@@ -192,9 +205,19 @@ def measure_benchmark(
     options = measurement_options(
         variant, rewrite_engine=engine, execution_engine=execution_engine
     )
-    start = time.perf_counter()
-    artifacts = MlirCompiler(options, session=session).compile(source)
-    total = time.perf_counter() - start
+    with get_tracer().span(
+        "bench:" + name, category="harness", engine=engine, variant=variant
+    ):
+        if get_metrics().enabled:
+            with measured_metrics() as metrics_delta:
+                start = time.perf_counter()
+                artifacts = MlirCompiler(options, session=session).compile(source)
+                total = time.perf_counter() - start
+        else:
+            metrics_delta = {}
+            start = time.perf_counter()
+            artifacts = MlirCompiler(options, session=session).compile(source)
+            total = time.perf_counter() - start
 
     def counter_total(key: str) -> int:
         return sum(
@@ -214,6 +237,7 @@ def measure_benchmark(
         applications=counter_total("applications"),
         worklist_pushes=counter_total("worklist-pushes"),
         ir_text=print_module(artifacts.cfg_module),
+        metrics=dict(metrics_delta),
     )
 
 
@@ -555,8 +579,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         "benchmarks never execute; with --exec-table, both engines are "
         "always compared)",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON of the whole run "
+        "(forces --jobs 1: spans from forked workers stay worker-local)",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write a JSON snapshot of the unified metrics registry",
+    )
     args = parser.parse_args(argv)
 
+    telemetry_on = bool(args.trace_out or args.metrics_json)
+    if args.trace_out and args.jobs > 1:
+        print("note: --trace-out forces --jobs 1 (spans are per-process)")
+        args.jobs = 1
+    tracer = Tracer() if telemetry_on else None
+    registry = MetricsRegistry() if telemetry_on else None
+    scope = (
+        telemetry_session(tracer=tracer, metrics=registry)
+        if telemetry_on
+        else nullcontext()
+    )
+    try:
+        with scope:
+            return _run_reports(args)
+    finally:
+        if args.trace_out:
+            tracer.write_chrome_trace(args.trace_out)
+        if args.metrics_json:
+            registry.write_json(args.metrics_json)
+
+
+def _run_reports(args) -> int:
     if args.exec_table:
         print(execution_table(variant=args.variant or "default"))
         return 0

@@ -21,9 +21,11 @@ is what the paper's conclusion rests on.
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional
 
 from ..interp.bytecode import EXECUTION_ENGINES
+from ..telemetry import telemetry_session
 from .benchmarks import SIZE_TIERS
 from .harness import EvaluationHarness, FigureData
 
@@ -205,6 +207,32 @@ def correctness_report(harness: Optional[EvaluationHarness] = None) -> str:
     return "\n".join(lines)
 
 
+def write_measurement_metrics(path: str, harness: EvaluationHarness) -> int:
+    """Measure the full variant matrix and write per-measurement metrics.
+
+    Each row pairs one (benchmark, variant) measurement with the unified
+    metrics delta recorded while it ran, so figure data and telemetry land
+    in one artifact.  Returns the number of rows written.
+    """
+    with telemetry_session():
+        measurements = harness.all_measurements()
+    payload = {
+        "schema": "repro/metrics/v1",
+        "measurements": [
+            {
+                "benchmark": m.benchmark,
+                "variant": m.variant,
+                "metrics": m.metrics,
+            }
+            for m in measurements
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=False, default=str)
+        handle.write("\n")
+    return len(payload["measurements"])
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -229,6 +257,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--sizes", choices=sorted(SIZE_TIERS), default="default",
         help="benchmark problem-size tier (the 'large' tier is sized for "
         "the bytecode engine)",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="measure the full variant matrix and write per-measurement "
+        "unified-telemetry metrics to PATH",
     )
     args = parser.parse_args(argv)
 
@@ -257,6 +290,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         printed = True
     if args.all or args.figure == "compile":
         print(compile_time_report(jobs=args.jobs))
+        printed = True
+    if args.metrics_json:
+        rows = write_measurement_metrics(args.metrics_json, harness)
+        print(f"wrote {args.metrics_json} ({rows} measurements)")
         printed = True
     if not printed:
         parser.print_help()

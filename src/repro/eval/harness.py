@@ -26,6 +26,7 @@ from ..backend.pipeline import (
     run_mlir,
     run_reference,
 )
+from ..telemetry import get_metrics, get_tracer, measured_metrics
 from .benchmarks import DEFAULT_SIZES, benchmark_sources
 
 
@@ -67,6 +68,10 @@ class VariantMeasurement:
     allocations: int
     rc_ops: int
     reuses: int = 0
+    #: Unified-telemetry metrics delta recorded while this measurement ran
+    #: (empty unless a telemetry session was active; see
+    #: ``docs/OBSERVABILITY.md``).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -108,16 +113,29 @@ def _measure(
     session: Optional[CompilationSession] = None,
     execution_engine: str = "vm",
 ) -> VariantMeasurement:
-    if variant == "baseline":
-        result = run_baseline(
-            source, session=session, execution_engine=execution_engine
-        )
-    else:
-        result = run_mlir(
+    def run():
+        if variant == "baseline":
+            return run_baseline(
+                source, session=session, execution_engine=execution_engine
+            )
+        return run_mlir(
             source,
             measurement_options(variant, execution_engine=execution_engine),
             session=session,
         )
+
+    with get_tracer().span(
+        "measure:" + benchmark, category="harness", variant=variant
+    ):
+        if get_metrics().enabled:
+            # Record this measurement's metrics delta — the registry is the
+            # active session's, so outer aggregations still see everything.
+            with measured_metrics() as metrics_delta:
+                get_metrics().bump("harness.measurements")
+                result = run()
+        else:
+            metrics_delta = {}
+            result = run()
     counts = result.metrics.counts
     return VariantMeasurement(
         benchmark=benchmark,
@@ -129,6 +147,7 @@ def _measure(
         allocations=result.heap_stats["allocations"],
         rc_ops=counts.get("rc", 0),
         reuses=result.heap_stats.get("reuses", 0),
+        metrics=dict(metrics_delta),
     )
 
 
@@ -162,8 +181,14 @@ def run_sharded(tasks: Sequence, worker, jobs: int) -> Optional[List]:
         context = multiprocessing.get_context("fork")
     except (ImportError, ValueError):
         return None
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(worker, tasks)
+    with get_tracer().span(
+        "harness:sharded", category="harness", jobs=jobs, tasks=len(tasks)
+    ):
+        # Forked workers inherit the active telemetry session (contextvars
+        # copy on fork); per-measurement metric deltas travel back inside
+        # the pickled measurements, while worker-side spans stay local.
+        with context.Pool(processes=min(jobs, len(tasks))) as pool:
+            return pool.map(worker, tasks)
 
 
 @dataclass

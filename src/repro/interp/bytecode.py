@@ -56,6 +56,7 @@ from ..runtime import (
     python_value,
     tag_of,
 )
+from ..telemetry import get_metrics, get_tracer
 from .cfg_interp import CfgInterpreterError
 from .metrics import DEFAULT_COSTS, ExecutionMetrics
 from .rc_interp import RunResult
@@ -116,6 +117,9 @@ OPCODE_NAMES = {
     OP_SETGLOBAL: "setglobal", OP_BINARITH: "binarith", OP_CMP: "cmp",
     OP_SELECT: "select", OP_CAST: "cast",
 }
+
+#: Size of the per-VM opcode frequency table.
+NUM_OPCODES = len(OPCODE_NAMES)
 
 def _divsi(a: int, b: int) -> int:
     if b == 0:
@@ -639,6 +643,11 @@ class VirtualMachine:
         #: run finishes (the per-event ``charge`` call is the tree-walkers'
         #: single hottest line).
         self._counts: Dict[str, int] = {category: 0 for category in DEFAULT_COSTS}
+        #: Dynamic instruction frequencies, indexed by opcode — the input
+        #: the ROADMAP's superinstruction selection reads, surfaced via
+        #: :meth:`instruction_frequencies`, ``--exec-stats`` and the
+        #: ``vm.instr.freq.<op>`` metrics.
+        self.opcode_counts: List[int] = [0] * NUM_OPCODES
         if sys.getrecursionlimit() < recursion_limit:
             sys.setrecursionlimit(recursion_limit)
 
@@ -661,15 +670,21 @@ class VirtualMachine:
                 "run_main takes the argument list first; pass the entry "
                 "point as run_main(main=...)"
             )
+        entry = main or self.program.main
         start = time.perf_counter()
         try:
-            result = self.call_function(main or self.program.main, list(args or []))
+            with get_tracer().span(
+                "vm:run", category="exec", main=entry,
+                flavor=self.program.flavor,
+            ):
+                result = self.call_function(entry, list(args or []))
         finally:
             # Fold charges into the metrics even when execution faults, so
             # the counters reflect the work done up to the error — the same
             # observable the incrementally-charging tree-walkers leave.
             self.metrics.wall_time_seconds = time.perf_counter() - start
             self._flush_counts()
+            self._publish_telemetry()
         snapshot = python_value(result) if result is not None else None
         if self.program.flavor == "cfg":
             if result is not None:
@@ -691,6 +706,27 @@ class VirtualMachine:
             if count:
                 counts[category] = counts.get(category, 0) + count
                 self._counts[category] = 0
+
+    def instruction_frequencies(self) -> Dict[str, int]:
+        """Dynamic instruction frequencies, most-executed first."""
+        frequencies = {
+            OPCODE_NAMES[opcode]: count
+            for opcode, count in enumerate(self.opcode_counts)
+            if count
+        }
+        return dict(
+            sorted(frequencies.items(), key=lambda item: (-item[1], item[0]))
+        )
+
+    def _publish_telemetry(self) -> None:
+        """Publish instruction frequencies and run time into the active
+        metrics registry (``vm.instr.freq.<op>`` / ``vm.run.seconds``)."""
+        registry = get_metrics()
+        if not registry.enabled:
+            return
+        for name, count in self.instruction_frequencies().items():
+            registry.bump("vm.instr.freq." + name, count)
+        registry.observe("vm.run.seconds", self.metrics.wall_time_seconds)
 
     # -- calls ------------------------------------------------------------
     def call_function(self, name: str, args: List[object]) -> object:
@@ -730,11 +766,13 @@ class VirtualMachine:
         regs[: fn.num_params] = args
         code = fn.code
         counts = self._counts
+        freq = self.opcode_counts
         heap = self.ctx.heap
         pc = 0
         while True:
             ins = code[pc]
             opcode = ins[0]
+            freq[opcode] += 1
             if opcode == OP_BINARITH:
                 counts["arith"] += 1
                 regs[ins[1]] = ins[2](regs[ins[3]], regs[ins[4]])

@@ -4,6 +4,18 @@ A :class:`Pass` transforms a module in place.  :class:`PassManager` runs a
 pipeline of passes, optionally verifying the IR after each one (the default,
 as in MLIR's ``-verify-each``), and records per-pass wall time and rewrite
 counters (MLIR's ``-mlir-pass-statistics``/``-mlir-timing`` analogue).
+
+Observability (see ``docs/OBSERVABILITY.md``):
+
+* :class:`~repro.telemetry.instrumentation.PassInstrumentation` callbacks
+  bracket every pass (``run_before_pass`` / ``run_after_pass`` /
+  ``run_after_pass_failed``) — a pass that raises, or whose output the
+  ``verify_each`` verifier rejects, triggers the failure hook before the
+  exception propagates,
+* each pass runs inside a telemetry span (``pass:<name>``), so traces show
+  where inside a pipeline phase the time goes,
+* per-pass counter deltas and wall time publish into the active metrics
+  registry under ``rewrite.<pass>.<counter>``.
 """
 
 from __future__ import annotations
@@ -14,6 +26,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ir.core import Operation
 from ..ir.verifier import verify
+from ..telemetry import (
+    PassInstrumentation,
+    get_metrics,
+    get_tracer,
+    metric_component,
+)
 
 
 @dataclass
@@ -95,6 +113,7 @@ class PassManager:
         *,
         verify_each: bool = True,
         verbose: bool = False,
+        instrumentations: Optional[Sequence[PassInstrumentation]] = None,
     ):
         self.passes: List[Pass] = list(passes or [])
         self.verify_each = verify_each
@@ -104,17 +123,38 @@ class PassManager:
         self.statistics: Dict[str, PassStatistics] = {}
         #: pass name -> wall time in seconds, populated by :meth:`run`.
         self.timings: Dict[str, float] = {}
+        #: Instrumentation callbacks bracketing every pass.
+        self.instrumentations: List[PassInstrumentation] = list(
+            instrumentations or []
+        )
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
         return self
 
+    def add_instrumentation(self, instr: PassInstrumentation) -> "PassManager":
+        self.instrumentations.append(instr)
+        return self
+
+    def _notify_failed(self, pass_: Pass, module: Operation, error: Exception):
+        for instr in self.instrumentations:
+            instr.run_after_pass_failed(pass_, module, error)
+
     def run(self, module: Operation) -> Operation:
+        tracer = get_tracer()
+        registry = get_metrics()
         for pass_ in self.passes:
             pass_.strict_convergence = self.verify_each
             before = dict(pass_.statistics.counters)
+            for instr in self.instrumentations:
+                instr.run_before_pass(pass_, module)
             start = time.perf_counter()
-            pass_.run(module)
+            try:
+                with tracer.span("pass:" + pass_.name, category="pass"):
+                    pass_.run(module)
+            except Exception as error:
+                self._notify_failed(pass_, module, error)
+                raise
             elapsed = time.perf_counter() - start
             # Merge this run's counter *delta* into the per-name statistics.
             # Assigning ``pass_.statistics`` outright (the old behaviour)
@@ -133,10 +173,22 @@ class PassManager:
                 else:
                     merged.bump(key, value)
             self.timings[pass_.name] = self.timings.get(pass_.name, 0.0) + elapsed
+            if registry.enabled:
+                prefix = "rewrite." + metric_component(pass_.name) + "."
+                for key, value in delta.items():
+                    registry.bump(prefix + metric_component(key), value)
+                registry.observe(prefix + "seconds", elapsed)
             if self.verbose:
                 print(self._format_pass_line(pass_.name, elapsed, delta))
             if self.verify_each:
-                verify(module)
+                try:
+                    with tracer.span("verify:" + pass_.name, category="verify"):
+                        verify(module)
+                except Exception as error:
+                    self._notify_failed(pass_, module, error)
+                    raise
+            for instr in self.instrumentations:
+                instr.run_after_pass(pass_, module)
         return module
 
     @staticmethod
