@@ -129,8 +129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default) or the tree-walking oracle interpreter",
     )
     parser.add_argument(
-        "--emit", choices=("c", "lp", "cfg"), default=None,
-        help="print a compilation artifact instead of running",
+        "--emit", choices=("c", "lp", "rgn", "rgn-opt", "cfg"), default=None,
+        help="print a compilation artifact instead of running (rgn is the "
+        "module entering the rgn optimisations, rgn-opt the module leaving "
+        "them — ready for replay through python -m repro.opt)",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -246,6 +248,8 @@ def _dispatch(args, source: str) -> int:
             options.verbose_passes = args.verbose
             options.print_ir_after = tuple(args.print_ir_after)
             options.print_ir_after_all = args.print_ir_after_all
+            if args.emit in ("rgn", "rgn-opt"):
+                options.capture_ir = (args.emit,)
             compiler = MlirCompiler(options, session=session)
             artifacts = compiler.compile(source)
             if args.emit == "c":
@@ -257,6 +261,17 @@ def _dispatch(args, source: str) -> int:
                 return 2
             if args.emit == "lp":
                 print(print_module(artifacts.lp_module))
+                return 0
+            if args.emit in ("rgn", "rgn-opt"):
+                captured = artifacts.captured_ir.get(args.emit)
+                if captured is None:
+                    print(
+                        "error: this variant does not run the rgn "
+                        "optimisations, so there is no rgn-opt module",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print(captured, end="")
                 return 0
             if args.emit == "cfg":
                 print(print_module(artifacts.cfg_module))

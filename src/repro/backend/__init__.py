@@ -14,7 +14,9 @@ from .pipeline import (
     Frontend,
     MlirCompiler,
     PipelineOptions,
+    build_spec_pipeline,
     rgn_optimization_pipeline,
+    rgn_pipeline_spec,
     run_all_backends,
     run_baseline,
     run_mlir,
@@ -39,7 +41,9 @@ __all__ = [
     "Frontend",
     "MlirCompiler",
     "PipelineOptions",
+    "build_spec_pipeline",
     "rgn_optimization_pipeline",
+    "rgn_pipeline_spec",
     "run_all_backends",
     "run_baseline",
     "run_mlir",

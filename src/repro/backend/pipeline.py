@@ -44,10 +44,12 @@ from ..interp.reference import ReferenceInterpreter, normalize
 from ..lambda_pure.ir import Program as PureProgram
 from ..lambda_pure.lowering import lower_program
 from ..lambda_pure.simplifier import simplify_program
+from ..ir.printer import print_module
 from ..lean.parser import parse_program
 from ..lean.typecheck import check_program
-from ..rc_opt import LpRcFusionPass, RcOptReport, insert_optimized_rc
+from ..rc_opt import RcOptReport, insert_optimized_rc
 from ..rewrite.pass_manager import PassManager
+from ..rewrite.registry import build_pipeline, pipeline_fingerprint
 from ..telemetry import (
     PassInstrumentation,
     PrintIRInstrumentation,
@@ -55,11 +57,9 @@ from ..telemetry import (
     get_tracer,
     metric_component,
 )
-from ..transforms.canonicalize import CanonicalizePass, canonicalization_patterns
-from ..transforms.cse import CSEPass
-from ..transforms.dce import DeadCodeEliminationPass
-from ..transforms.region_gvn import RegionGVNPass
+from ..transforms.canonicalize import canonicalization_patterns
 from .c_backend import emit_c_source
+from .incremental import run_incremental_rgn_opt
 from .lowering_context import LoweringContext
 from .lp_codegen import generate_lp_module
 from .lp_to_rgn import lower_lp_to_rgn
@@ -106,6 +106,16 @@ class PipelineOptions:
     #: On a pass failure (pattern non-convergence or a ``verify_each``
     #: rejection), dump the offending function's IR and the pass name.
     print_ir_on_failure: bool = True
+    #: Serve rgn-opt results from the session's fingerprint-keyed
+    #: per-function cache (no effect without a session; see
+    #: :mod:`repro.backend.incremental`).
+    incremental_rgn_opt: bool = True
+    #: Pipeline points whose textual IR to capture into
+    #: ``CompilationArtifacts.captured_ir``: any of "lp" (after lp
+    #: codegen/fusion), "rgn" (entering rgn-opt), "rgn-opt" (leaving it).
+    #: The lowerings mutate modules in place, so these snapshots cannot be
+    #: reconstructed after the fact.
+    capture_ir: Tuple[str, ...] = ()
 
     @classmethod
     def variant(cls, name: str) -> "PipelineOptions":
@@ -152,6 +162,8 @@ class CompilationArtifacts:
     #: "rgn" entering the rgn optimisations).  The lowerings mutate the
     #: module in place, so these cannot be recomputed afterwards.
     module_op_counts: Dict[str, int] = field(default_factory=dict)
+    #: Textual IR snapshots requested via ``PipelineOptions.capture_ir``.
+    captured_ir: Dict[str, str] = field(default_factory=dict)
 
 
 class Frontend:
@@ -188,6 +200,13 @@ class CompilationSession:
     bytecode translation once.  Entries hold a strong reference to their
     module, so an ``id`` can never be recycled while its cache row lives.
 
+    The third cache drives **incremental recompilation**: optimised
+    per-function rgn IR keyed by (pipeline fingerprint, structural body
+    fingerprint) — see :mod:`repro.backend.incremental`.  Recompiling a
+    module where one function changed re-runs the rgn-opt pipeline only on
+    that function; every other function splices in its cached optimised
+    clone.
+
     Sessions are cheap, single-process objects; the process-sharded harness
     gives each worker its own.
     """
@@ -195,11 +214,14 @@ class CompilationSession:
     def __init__(self):
         self._pure_cache: Dict[str, PureProgram] = {}
         self._bytecode_cache: Dict[int, tuple] = {}
+        self._rgn_opt_cache: Dict[tuple, object] = {}
         self.lowering_context = LoweringContext()
         self.hits = 0
         self.misses = 0
         self.bytecode_hits = 0
         self.bytecode_misses = 0
+        self.incremental_hits = 0
+        self.incremental_misses = 0
 
     def frontend(self, source: str) -> PureProgram:
         """λpure program for ``source``, served from the cache when possible.
@@ -256,6 +278,36 @@ class CompilationSession:
         self._bytecode_cache[key] = (source, bytecode)
         return bytecode
 
+    #: Bound on cached optimised functions.  Each row holds a detached
+    #: clone of one function body; FIFO eviction (as for bytecode) keeps a
+    #: long-lived session from retaining every function it ever optimised.
+    RGN_OPT_CACHE_LIMIT = 512
+
+    def rgn_opt_cached(self, key: tuple):
+        """Cached optimised function for ``key``, or None (counts the miss).
+
+        Keys pair the pipeline fingerprint with the function's structural
+        body fingerprint (see :mod:`repro.backend.incremental`); hit/miss
+        counts publish as ``session.incremental.hits`` / ``.misses``.
+        """
+        entry = self._rgn_opt_cache.get(key)
+        registry = get_metrics()
+        if entry is not None:
+            self.incremental_hits += 1
+            if registry.enabled:
+                registry.bump("session.incremental.hits")
+            return entry
+        self.incremental_misses += 1
+        if registry.enabled:
+            registry.bump("session.incremental.misses")
+        return None
+
+    def rgn_opt_store(self, key: tuple, func) -> None:
+        """Remember the optimised (detached, cloned) function for ``key``."""
+        while len(self._rgn_opt_cache) >= self.RGN_OPT_CACHE_LIMIT:
+            self._rgn_opt_cache.pop(next(iter(self._rgn_opt_cache)))
+        self._rgn_opt_cache[key] = func
+
     @property
     def stats(self) -> Dict[str, int]:
         """Hit/miss accounting (one entry per distinct source cached)."""
@@ -266,6 +318,9 @@ class CompilationSession:
             "bytecode_hits": self.bytecode_hits,
             "bytecode_misses": self.bytecode_misses,
             "bytecode_entries": len(self._bytecode_cache),
+            "incremental_hits": self.incremental_hits,
+            "incremental_misses": self.incremental_misses,
+            "incremental_entries": len(self._rgn_opt_cache),
         }
 
 
@@ -335,6 +390,58 @@ def canonicalization_drain_patterns(options: PipelineOptions) -> List:
     )
 
 
+#: Spec of the lp-level cleanup pipeline run after codegen for the
+#: optimised RC modes (the SSA twin of dup/drop fusion).
+LP_FUSION_SPEC = "lp-rc-fusion"
+
+#: The ablation flag of ``PipelineOptions`` -> the ``canonicalize`` pass's
+#: ``ablate=`` choice it corresponds to.
+_ABLATION_FLAGS = (
+    ("enable_constant_fold", "constant-fold"),
+    ("enable_case_elimination", "case-elim"),
+    ("enable_common_branch_elimination", "common-branch"),
+    ("enable_dead_region_elimination", "dead-region"),
+)
+
+
+def rgn_pipeline_spec(options: PipelineOptions) -> str:
+    """The textual pipeline spec of the rgn optimisation pipeline.
+
+    The default configuration reads ``cse,region-gvn,canonicalize,dce`` —
+    runnable verbatim through ``python -m repro.opt``.  Ablation flags map
+    onto ``canonicalize{ablate=...}`` options (dropping a pattern family
+    from the drain rather than a pipeline stage), and a fully-ablated drain
+    drops the ``canonicalize`` element entirely.
+    """
+    parts = []
+    if options.enable_cse:
+        parts.append("cse")
+    if options.enable_region_gvn:
+        parts.append("region-gvn")
+    drain_options = [
+        f"ablate={choice}"
+        for flag, choice in _ABLATION_FLAGS
+        if not getattr(options, flag)
+    ]
+    if len(drain_options) < len(_ABLATION_FLAGS):
+        if options.rewrite_engine != "worklist":
+            drain_options.append(f"engine={options.rewrite_engine}")
+        suffix = "{" + ",".join(drain_options) + "}" if drain_options else ""
+        parts.append("canonicalize" + suffix)
+    parts.append("dce")
+    return ",".join(parts)
+
+
+def build_spec_pipeline(spec: str, options: PipelineOptions) -> PassManager:
+    """Build the pipeline of ``spec`` under the knobs of ``options``."""
+    return build_pipeline(
+        spec,
+        verify_each=options.verify_each,
+        verbose=options.verbose_passes,
+        instrumentations=pass_instrumentations(options),
+    )
+
+
 def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
     """The rgn optimisation pass pipeline of the new backend (§IV-B).
 
@@ -349,25 +456,12 @@ def rgn_optimization_pipeline(options: PipelineOptions) -> PassManager:
     seed: constants materialised by the drain are not re-CSE'd — duplicate
     constants are harmless to the cost model, and the final DCE still drops
     unused ones.)
+
+    Built declaratively from :func:`rgn_pipeline_spec` through the pass
+    registry, so the in-compiler pipeline and a ``repro.opt`` run of the
+    same spec are the same object construction path.
     """
-    engine = options.rewrite_engine
-    drain_patterns = canonicalization_drain_patterns(options)
-    passes = []
-    if options.enable_cse:
-        passes.append(CSEPass())
-    if options.enable_region_gvn:
-        passes.append(RegionGVNPass())
-    if drain_patterns:
-        passes.append(
-            CanonicalizePass(drain_patterns, engine=engine, run_dce=False)
-        )
-    passes.append(DeadCodeEliminationPass())
-    return PassManager(
-        passes,
-        verify_each=options.verify_each,
-        verbose=options.verbose_passes,
-        instrumentations=pass_instrumentations(options),
-    )
+    return build_spec_pipeline(rgn_pipeline_spec(options), options)
 
 
 class BaselineCompiler:
@@ -489,28 +583,38 @@ class MlirCompiler:
                 # The SSA twin of dup/drop fusion: catches pairs exposed by
                 # lowering λrc trees into lp blocks.
                 with phases.phase("lp-fusion"):
-                    lp_fusion = PassManager(
-                        [LpRcFusionPass()],
-                        verify_each=options.verify_each,
-                        verbose=options.verbose_passes,
-                        instrumentations=pass_instrumentations(options),
-                    )
+                    lp_fusion = build_spec_pipeline(LP_FUSION_SPEC, options)
                     lp_fusion.run(lp_module)
                 artifacts.pass_statistics.update(
                     (name, stats.counters)
                     for name, stats in lp_fusion.statistics.items()
                 )
+            if "lp" in options.capture_ir:
+                artifacts.captured_ir["lp"] = print_module(lp_module)
             with phases.phase("lp-to-rgn"):
                 cfg_module = lower_lp_to_rgn(lp_module, lowering_context)
             artifacts.module_op_counts["rgn"] = sum(1 for _ in cfg_module.walk()) - 1
+            if "rgn" in options.capture_ir:
+                artifacts.captured_ir["rgn"] = print_module(cfg_module)
             if options.run_rgn_optimizations:
+                spec = rgn_pipeline_spec(options)
                 with phases.phase("rgn-opt"):
-                    pipeline = rgn_optimization_pipeline(options)
-                    pipeline.run(cfg_module)
+                    pipeline = build_spec_pipeline(spec, options)
+                    if session is not None and options.incremental_rgn_opt:
+                        run_incremental_rgn_opt(
+                            cfg_module,
+                            pipeline,
+                            session,
+                            pipeline_fingerprint(spec),
+                        )
+                    else:
+                        pipeline.run(cfg_module)
                 artifacts.pass_statistics.update(
                     (name, stats.counters)
                     for name, stats in pipeline.statistics.items()
                 )
+                if "rgn-opt" in options.capture_ir:
+                    artifacts.captured_ir["rgn-opt"] = print_module(cfg_module)
             with phases.phase("rgn-to-cf"):
                 cfg_module = lower_rgn_to_cf(cfg_module)
         artifacts.cfg_module = cfg_module

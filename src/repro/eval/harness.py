@@ -43,11 +43,17 @@ def measurement_options(
     (measurements time the pipeline, not the verifier) and applies the
     requested rewrite and execution engines.  Session/jobs configuration
     threads through the callers; only the per-compile knobs live here.
+
+    Incremental rgn-opt recompilation is switched off: measurement runs
+    time the optimisation pipeline itself, and the fingerprint/cache work
+    would distort phase timings and per-pass counters (the incremental
+    layer has its own guard in ``benchmarks/test_compile_time.py``).
     """
     options = (
         PipelineOptions() if variant == "default" else PipelineOptions.variant(variant)
     )
     options.verify_each = False
+    options.incremental_rgn_opt = False
     if rewrite_engine is not None:
         options.rewrite_engine = rewrite_engine
     if execution_engine is not None:

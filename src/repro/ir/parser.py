@@ -31,6 +31,25 @@ class ParseError(Exception):
     """Raised when the input text is not valid generic IR."""
 
 
+#: Collision suffix the printer appends to duplicate name hints
+#: (``x`` → ``x$1``); stripped when recovering the hint so a reprint
+#: regenerates the same names the original printer chose.
+_HINT_SUFFIX_RE = re.compile(r"\$\d+$")
+
+
+def _hint_from_name(name: str) -> Optional[str]:
+    """The name hint a printed SSA name encodes, if any.
+
+    Purely numeric names are printer-assigned (anonymous values); a
+    ``$N`` suffix is printer-added collision disambiguation, not part of
+    the hint.
+    """
+    if name.isdigit():
+        return None
+    hint = _HINT_SUFFIX_RE.sub("", name)
+    return hint or None
+
+
 _TOKEN_RE = re.compile(
     r"""
     (?P<WS>\s+)
@@ -292,8 +311,9 @@ class Parser:
             )
         for name, result in zip(result_names, op.results):
             self.define_value(name, result)
-            if not name.isdigit():
-                result.name_hint = name
+            hint = _hint_from_name(name)
+            if hint is not None:
+                result.name_hint = hint
         return op
 
     # -- regions and blocks -------------------------------------------------------------------
@@ -322,8 +342,9 @@ class Parser:
                         self.expect("PUNCT", ":")
                         arg_type = self.parse_type()
                         arg = block.add_argument(arg_type)
-                        if not arg_name.isdigit():
-                            arg.name_hint = arg_name
+                        hint = _hint_from_name(arg_name)
+                        if hint is not None:
+                            arg.name_hint = hint
                         self.define_value(arg_name, arg)
                         if not self.accept("PUNCT", ","):
                             break

@@ -34,11 +34,16 @@ class _NameManager:
             return self.value_names[value]
         hint = value.name_hint
         if hint:
+            # Colliding hints disambiguate with a ``$`` suffix: ``$`` is
+            # legal in ``%`` tokens but never appears in codegen hints, so
+            # the parser can strip it back off when recovering the hint —
+            # which is what keeps parse→print roundtrips byte-identical
+            # even after passes erase one of the colliding values.
             name = hint
             suffix = 0
             while name in self._used:
                 suffix += 1
-                name = f"{hint}_{suffix}"
+                name = f"{hint}${suffix}"
         else:
             name = str(self._next_value)
             self._next_value += 1

@@ -1,0 +1,219 @@
+"""``repro-opt``: run a textual pass pipeline over textual IR.
+
+The mlir-opt / xdsl-opt analogue — the tool the per-pass regression tests
+and the pipeline-debugging workflow are built on.  Usage::
+
+    python -m repro.opt file.mlir                        # default rgn pipeline
+    python -m repro.opt --pipeline "cse,dce" file.mlir
+    python -m repro.opt --pipeline "canonicalize{ablate=case-elim}" -
+    python -m repro.opt --list-passes
+    python -m repro.opt --show-pipeline file.mlir        # spec + fingerprint
+    python -m repro.opt --verify-roundtrip file.mlir     # parse(print(m)) check
+    python -m repro.opt file.mlir --print-ir-after cse --metrics-json m.json
+
+The input is generic-form IR as printed by :mod:`repro.ir.printer` (get
+some via ``python -m repro program.lean --emit rgn``); the result prints
+on stdout (or ``-o``).  Telemetry flags (``--trace-out``,
+``--metrics-json``, ``--print-ir-after*``) come for free through
+:class:`~repro.rewrite.pass_manager.PassManager` — the exact
+instrumentation stack of the in-compiler pipelines.
+
+The default pipeline is the compiler's rgn optimisation spec, so
+
+.. code-block:: shell
+
+    python -m repro program.lean --emit rgn > before.mlir
+    python -m repro.opt before.mlir
+
+reproduces the compiler's rgn-opt phase byte-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import nullcontext
+from typing import List, Optional
+
+from .backend.pipeline import PipelineOptions, rgn_pipeline_spec
+from .ir.parser import ParseError, parse_module
+from .ir.printer import print_module
+from .ir.verifier import VerificationError, verify
+from .rewrite.registry import (
+    PipelineSpecError,
+    build_pipeline,
+    canonical_pipeline_spec,
+    describe_registered_passes,
+    pipeline_fingerprint,
+)
+from .telemetry import (
+    MetricsRegistry,
+    PrintIRInstrumentation,
+    Tracer,
+    telemetry_session,
+)
+
+
+def _read_input(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def default_pipeline_spec() -> str:
+    """The compiler's rgn optimisation spec under default options."""
+    return rgn_pipeline_spec(PipelineOptions())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.opt", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "file", nargs="?", default=None,
+        help="generic-form IR file ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--pipeline", metavar="SPEC", default=None,
+        help="textual pipeline spec, e.g. "
+        "\"cse,canonicalize{ablate=case-elim},dce\" "
+        "(default: the compiler's rgn optimisation pipeline)",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list every registered pass (with options) and exit",
+    )
+    parser.add_argument(
+        "--show-pipeline", action="store_true",
+        help="print the canonical pipeline spec and its fingerprint, "
+        "then exit without reading input",
+    )
+    parser.add_argument(
+        "-o", metavar="PATH", dest="output", default=None,
+        help="write the resulting IR to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--verify-roundtrip", action="store_true",
+        help="after running, re-parse the printed result and check the "
+        "reprint is byte-identical (printer/parser roundtrip guard)",
+    )
+    parser.add_argument(
+        "--no-verify-each", action="store_true",
+        help="skip IR verification after each pass",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print per-pass wall time and rewrite counters",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON of the pipeline run",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write a JSON snapshot of the unified metrics registry",
+    )
+    parser.add_argument(
+        "--print-ir-after", metavar="PASS", action="append", default=[],
+        help="print the module's IR after the named pass runs (repeatable)",
+    )
+    parser.add_argument(
+        "--print-ir-after-all", action="store_true",
+        help="print the module's IR after every pass",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        print(describe_registered_passes())
+        return 0
+
+    spec = args.pipeline if args.pipeline is not None else default_pipeline_spec()
+
+    if args.show_pipeline:
+        try:
+            canonical = canonical_pipeline_spec(spec)
+        except PipelineSpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(canonical)
+        print(f"fingerprint: {pipeline_fingerprint(spec)}")
+        return 0
+
+    if args.file is None:
+        parser.error("an input file is required (use '-' for stdin)")
+
+    instrumentations = []
+    if args.print_ir_after or args.print_ir_after_all:
+        instrumentations.append(
+            PrintIRInstrumentation(
+                print_after=tuple(args.print_ir_after),
+                print_after_all=args.print_ir_after_all,
+            )
+        )
+    try:
+        pipeline = build_pipeline(
+            spec,
+            verify_each=not args.no_verify_each,
+            verbose=args.verbose,
+            instrumentations=instrumentations,
+        )
+    except PipelineSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        text = _read_input(args.file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    telemetry_on = bool(args.trace_out or args.metrics_json)
+    tracer = Tracer() if telemetry_on else None
+    registry = MetricsRegistry() if telemetry_on else None
+    scope = (
+        telemetry_session(tracer=tracer, metrics=registry)
+        if telemetry_on
+        else nullcontext()
+    )
+    try:
+        with scope:
+            try:
+                module = parse_module(text)
+                verify(module)
+                pipeline.run(module)
+            except (ParseError, VerificationError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            result = print_module(module)
+    finally:
+        if args.trace_out:
+            tracer.write_chrome_trace(args.trace_out)
+        if args.metrics_json:
+            registry.write_json(args.metrics_json)
+
+    if args.verify_roundtrip:
+        try:
+            reparsed = parse_module(result)
+        except ParseError as error:
+            print(f"error: roundtrip parse failed: {error}", file=sys.stderr)
+            return 1
+        reprint = print_module(reparsed)
+        if reprint != result:
+            print(
+                "error: roundtrip print is not byte-identical",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result)
+    else:
+        print(result, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from ..dialects import lp
 from ..ir.attributes import IntegerAttr
 from ..ir.core import Block, Operation
 from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.registry import register_pass
 
 
 def _fuse_block(block: Block) -> int:
@@ -93,6 +94,7 @@ def _fuse_run(run: List[Operation]) -> int:
     return removed
 
 
+@register_pass
 class LpRcFusionPass(FunctionPass):
     """Cancel/merge ``lp.inc``/``lp.dec`` runs in every function."""
 

@@ -12,6 +12,18 @@ from .driver import (
 )
 from .pass_manager import FunctionPass, ModulePass, Pass, PassManager
 from .pattern import PatternRewriter, RewritePattern
+from .registry import (
+    PassInvocation,
+    PassOption,
+    PipelineSpecError,
+    RegisteredPass,
+    build_pipeline,
+    canonical_pipeline_spec,
+    parse_pipeline_spec,
+    pipeline_fingerprint,
+    register_pass,
+    registered_passes,
+)
 
 __all__ = [
     "ENGINES",
@@ -27,4 +39,14 @@ __all__ = [
     "PassManager",
     "PatternRewriter",
     "RewritePattern",
+    "PassInvocation",
+    "PassOption",
+    "PipelineSpecError",
+    "RegisteredPass",
+    "build_pipeline",
+    "canonical_pipeline_spec",
+    "parse_pipeline_spec",
+    "pipeline_fingerprint",
+    "register_pass",
+    "registered_passes",
 ]

@@ -30,9 +30,18 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 from ..ir.core import Operation
 from .pass_manager import FunctionPass
 from .pattern import PatternRewriter, RewritePattern
+from .registry import PassOption
 
 #: The rewrite engines understood by :func:`apply_patterns_greedily`.
 ENGINES = ("worklist", "rescan")
+
+#: Pipeline-spec option shared by every pattern-driver pass.
+ENGINE_OPTION = PassOption(
+    "engine",
+    "rewrite engine driving the greedy fixpoint",
+    choices=ENGINES,
+    default="worklist",
+)
 
 
 class NonConvergenceError(RuntimeError):
@@ -351,6 +360,14 @@ class PatternRewritePass(FunctionPass):
 
     #: Rewrite engine used by this pass; overridable per instance.
     engine: str = "worklist"
+
+    SPEC_OPTIONS = (ENGINE_OPTION,)
+
+    @classmethod
+    def from_spec_options(cls, options):
+        if "engine" in options:
+            return cls(engine=options["engine"][-1])
+        return cls()
 
     def __init__(self, *, engine: Optional[str] = None):
         super().__init__()

@@ -79,8 +79,22 @@ class Pass:
     #: ``verify_each`` setting before running the pass.
     strict_convergence: bool = True
 
+    #: Options the pass accepts in textual pipeline specs — a tuple of
+    #: :class:`~repro.rewrite.registry.PassOption` (empty for most passes).
+    SPEC_OPTIONS: tuple = ()
+
     def __init__(self):
         self.statistics = PassStatistics()
+
+    @classmethod
+    def from_spec_options(cls, options: Dict[str, List[str]]) -> "Pass":
+        """Build an instance from validated pipeline-spec options.
+
+        ``options`` maps option key to the list of values it was given
+        (already validated against :attr:`SPEC_OPTIONS` by the registry).
+        The base implementation covers option-free passes.
+        """
+        return cls()
 
     def run(self, module: Operation) -> None:
         raise NotImplementedError

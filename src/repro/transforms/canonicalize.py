@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..rewrite.driver import PatternRewritePass
+from ..rewrite.driver import ENGINE_OPTION, PatternRewritePass
 from ..rewrite.pattern import RewritePattern
+from ..rewrite.registry import PassOption, register_pass
 from .case_elimination import case_elimination_patterns
 from .common_branch import common_branch_patterns
 from .constant_fold import constant_fold_patterns
@@ -52,6 +53,18 @@ def canonicalization_patterns(
     return patterns
 
 
+#: Ablation choice -> the keyword toggle of :func:`canonicalization_patterns`
+#: it switches off.  Also consumed by the backend pipeline when translating
+#: its ablation flags into a pipeline spec.
+ABLATABLE_FAMILIES = {
+    "constant-fold": "constant_fold",
+    "case-elim": "case_elimination",
+    "common-branch": "common_branch",
+    "dead-region": "dead_region",
+}
+
+
+@register_pass
 class CanonicalizePass(PatternRewritePass):
     """Drive the canonicalisation drain to fixpoint, optionally followed by
     DCE.
@@ -64,6 +77,35 @@ class CanonicalizePass(PatternRewritePass):
     """
 
     name = "canonicalize"
+
+    SPEC_OPTIONS = (
+        PassOption(
+            "ablate",
+            "drop one pattern family from the drain",
+            repeatable=True,
+            choices=tuple(ABLATABLE_FAMILIES),
+        ),
+        ENGINE_OPTION,
+        PassOption(
+            "dce",
+            "run a dead-code sweep after the drain converges",
+            choices=("true", "false"),
+            default="false",
+        ),
+    )
+
+    @classmethod
+    def from_spec_options(cls, options):
+        toggles = {
+            ABLATABLE_FAMILIES[choice]: False
+            for choice in options.get("ablate", ())
+        }
+        patterns = canonicalization_patterns(**toggles) if toggles else None
+        return cls(
+            patterns,
+            engine=options.get("engine", [None])[-1],
+            run_dce=options.get("dce", ["false"])[-1] == "true",
+        )
 
     def __init__(
         self,

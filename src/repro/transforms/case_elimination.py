@@ -22,6 +22,7 @@ from typing import List
 from ..dialects import arith, lp, rgn
 from ..ir.core import IRMapping, Operation
 from ..rewrite.driver import PatternRewritePass
+from ..rewrite.registry import register_pass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
 
 
@@ -153,6 +154,7 @@ def case_elimination_patterns() -> List[RewritePattern]:
     ]
 
 
+@register_pass
 class CaseEliminationPass(PatternRewritePass):
     """Greedily apply the case-elimination patterns."""
 

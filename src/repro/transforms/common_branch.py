@@ -17,6 +17,7 @@ from typing import List
 from ..dialects import arith, rgn
 from ..ir.core import Operation
 from ..rewrite.driver import PatternRewritePass
+from ..rewrite.registry import register_pass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
 
 
@@ -55,6 +56,7 @@ def common_branch_patterns() -> List[RewritePattern]:
     return [FoldSelectSameOperands(), FoldSwitchSameOperands()]
 
 
+@register_pass
 class CommonBranchEliminationPass(PatternRewritePass):
     """Greedily apply the common-branch-elimination patterns."""
 

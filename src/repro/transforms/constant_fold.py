@@ -11,6 +11,7 @@ from typing import List
 from ..dialects import arith
 from ..ir.core import Operation
 from ..rewrite.driver import PatternRewritePass
+from ..rewrite.registry import register_pass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
 
 
@@ -110,6 +111,7 @@ def constant_fold_patterns() -> List[RewritePattern]:
     return [FoldBinaryOp(), FoldAddZero(), FoldCmpI()]
 
 
+@register_pass
 class ConstantFoldPass(PatternRewritePass):
     """Greedily apply the constant-folding patterns."""
 

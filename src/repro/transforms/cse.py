@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 from ..ir.core import Block, Operation, Value
 from ..ir.traits import Allocates, Pure
 from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.registry import register_pass
 
 
 def _op_key(op: Operation, value_ids: Dict[Value, int]) -> Tuple:
@@ -62,6 +63,7 @@ class _Scope:
         return None, False
 
 
+@register_pass
 class CSEPass(FunctionPass):
     """Eliminate redundant pure, region-free operations (dominance-scoped)."""
 

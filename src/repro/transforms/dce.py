@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from ..ir.core import Operation
 from ..ir.traits import Pure
 from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.registry import register_pass
 
 
 def eliminate_dead_code(
@@ -65,6 +66,7 @@ def eliminate_dead_code(
     return erased_total
 
 
+@register_pass
 class DeadCodeEliminationPass(FunctionPass):
     """Remove all dead pure operations in every function."""
 

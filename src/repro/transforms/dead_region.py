@@ -18,6 +18,7 @@ from typing import List
 from ..dialects.rgn import ValOp
 from ..ir.core import Operation
 from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.registry import register_pass
 from ..rewrite.pattern import PatternRewriter, RewritePattern
 from .dce import eliminate_dead_code
 
@@ -49,6 +50,7 @@ def dead_region_patterns() -> List[RewritePattern]:
     return [EraseDeadRegionValue()]
 
 
+@register_pass
 class DeadRegionEliminationPass(FunctionPass):
     """Remove ``rgn.val`` definitions whose result is never referenced."""
 

@@ -20,12 +20,31 @@ from ..dialects.func import CallOp, FuncOp, ReturnOp
 from ..dialects.lp import ReturnOp as LpReturnOp
 from ..ir.core import IRMapping, Operation
 from ..rewrite.pass_manager import ModulePass
+from ..rewrite.registry import PassOption, register_pass
 
 
+@register_pass
 class InlinerPass(ModulePass):
     """Inline small, non-recursive, single-block callees at direct call sites."""
 
     name = "inline"
+
+    SPEC_OPTIONS = (
+        PassOption(
+            "max-callee-ops",
+            "largest callee body (in operations) considered for inlining",
+            default="16",
+        ),
+    )
+
+    @classmethod
+    def from_spec_options(cls, options):
+        raw = options.get("max-callee-ops", ["16"])[-1]
+        try:
+            limit = int(raw)
+        except ValueError:
+            raise ValueError(f"max-callee-ops={raw!r} is not an integer")
+        return cls(max_callee_ops=limit)
 
     def __init__(self, max_callee_ops: int = 16):
         super().__init__()

@@ -36,6 +36,7 @@ from ..ir.core import Block, Operation, Region, Value
 from ..ir.traits import Pure
 from ..ir.types import Type
 from ..rewrite.pass_manager import FunctionPass
+from ..rewrite.registry import register_pass
 
 #: Interned ``str(type)`` strings, keyed by the (structurally hashed) type.
 #: Types are immutable value objects, so the table never invalidates.
@@ -71,6 +72,17 @@ class ValueNumbering:
     def _fresh(self) -> Hashable:
         self._next_opaque += 1
         return ("opaque", self._next_opaque)
+
+    def preset(self, value: Value, number: Hashable) -> None:
+        """Pin the number of ``value`` before any query sees it.
+
+        Opaque numbers are assigned in encounter order, so fingerprints
+        taken with a fresh numbering are only comparable within one request
+        stream.  Pre-seeding every value with a deterministic number (the
+        incremental-recompilation cache seeds positional numbers from a
+        pre-order walk) makes fingerprints comparable *across* compiles.
+        """
+        self._numbers[value] = number
 
     def attribute_key(self, op: Operation) -> Tuple:
         """The sorted ``(name, str(attr))`` key of ``op``, computed once."""
@@ -283,6 +295,7 @@ class RegionFingerprinter:
             region = parent.parent_region() if parent is not None else None
 
 
+@register_pass
 class RegionGVNPass(FunctionPass):
     """Merge ``rgn.val`` operations whose regions have equal value numbers.
 

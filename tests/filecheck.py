@@ -1,0 +1,90 @@
+"""FileCheck-lite: ordered CHECK / CHECK-NOT assertions over textual IR.
+
+The subset of LLVM FileCheck the per-pass regression tests need:
+
+* ``CHECK: <pattern>`` — some line at or after the current position must
+  contain the pattern; matching advances the position past that line.
+* ``CHECK-NOT: <pattern>`` — no line between the current position and the
+  next ``CHECK`` match (or end of input, for trailing ``CHECK-NOT``\\ s)
+  may contain the pattern.
+
+Patterns are literal substrings, except ``{{...}}`` spans, which hold
+Python regular expressions::
+
+    filecheck(ir_text, '''
+        CHECK: "func.func"
+        CHECK-NOT: "rgn.val"
+        CHECK: %{{[a-z0-9_$]+}} = "arith.constant"
+    ''')
+
+Failures raise :class:`FileCheckError` with the unmatched directive and
+the remaining input, so a failing test reads like FileCheck output.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+
+class FileCheckError(AssertionError):
+    """A CHECK directive failed to match."""
+
+
+def _compile_pattern(pattern: str) -> re.Pattern:
+    """Literal text with ``{{regex}}`` escapes, as one compiled regex."""
+    parts: List[str] = []
+    pos = 0
+    for span in re.finditer(r"\{\{(.*?)\}\}", pattern):
+        parts.append(re.escape(pattern[pos:span.start()]))
+        parts.append(span.group(1))
+        pos = span.end()
+    parts.append(re.escape(pattern[pos:]))
+    return re.compile("".join(parts))
+
+
+def parse_checks(check_text: str) -> List[Tuple[str, str]]:
+    """Extract (directive, pattern) pairs from a CHECK script."""
+    checks: List[Tuple[str, str]] = []
+    for line in check_text.splitlines():
+        match = re.match(r"\s*(CHECK(?:-NOT)?):\s?(.*\S)\s*$", line)
+        if match:
+            checks.append((match.group(1), match.group(2)))
+    if not checks:
+        raise ValueError("no CHECK/CHECK-NOT directives in check script")
+    return checks
+
+
+def filecheck(input_text: str, check_text: str) -> None:
+    """Assert ``input_text`` satisfies the directives of ``check_text``."""
+    lines = input_text.splitlines()
+    position = 0
+    pending_not: List[Tuple[str, re.Pattern]] = []
+
+    def scan_not(until: int) -> None:
+        for pattern_text, pattern in pending_not:
+            for index in range(position, until):
+                if pattern.search(lines[index]):
+                    raise FileCheckError(
+                        f"CHECK-NOT: {pattern_text!r} matched line "
+                        f"{index + 1}: {lines[index].strip()!r}"
+                    )
+        pending_not.clear()
+
+    for directive, pattern_text in parse_checks(check_text):
+        pattern = _compile_pattern(pattern_text)
+        if directive == "CHECK-NOT":
+            pending_not.append((pattern_text, pattern))
+            continue
+        for index in range(position, len(lines)):
+            if pattern.search(lines[index]):
+                scan_not(index)
+                position = index + 1
+                break
+        else:
+            remaining = "\n".join(lines[position:position + 8])
+            raise FileCheckError(
+                f"CHECK: {pattern_text!r} not found after line {position}; "
+                f"remaining input starts:\n{remaining}"
+            )
+    scan_not(len(lines))

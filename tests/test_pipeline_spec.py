@@ -1,0 +1,252 @@
+"""Pipeline-spec parsing, validation, canonicalisation and fingerprints.
+
+The textual pipeline grammar is the contract between ``repro.opt``, the
+compiler's declarative phase specs (``rgn_pipeline_spec``) and the
+incremental-recompilation cache keys, so each side gets direct coverage:
+
+* syntax — valid specs, option payloads, whitespace tolerance, and the
+  exact error for every malformed shape,
+* registry resolution — unknown passes / options, repeatability, choice
+  sets, and pass-constructor validation (``inline{max-callee-ops=...}``),
+* canonical form + fingerprint stability (equivalent specs share one
+  fingerprint, different pipelines never do),
+* a docs drift guard: every registered pass name appears in
+  ``docs/PASSES.md``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.backend.pipeline import PipelineOptions, rgn_pipeline_spec
+from repro.rewrite import PassManager
+from repro.rewrite.registry import (
+    PipelineSpecError,
+    build_passes,
+    build_pipeline,
+    canonical_pipeline_spec,
+    parse_pipeline_spec,
+    pipeline_fingerprint,
+    registered_passes,
+)
+from repro.transforms import CanonicalizePass, CSEPass
+from repro.transforms.inliner import InlinerPass
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PASSES_MD = REPO_ROOT / "docs" / "PASSES.md"
+
+#: Every pass the registry must expose — the compiler's optimisation
+#: surface.  Extending the registry means extending this list (and
+#: docs/PASSES.md, per the drift test below).
+EXPECTED_PASSES = [
+    "canonicalize",
+    "case-elimination",
+    "common-branch-elimination",
+    "constant-fold",
+    "cse",
+    "dce",
+    "dead-region-elimination",
+    "inline",
+    "lp-rc-fusion",
+    "region-gvn",
+]
+
+
+class TestParsing:
+    def test_single_pass(self):
+        (inv,) = parse_pipeline_spec("cse")
+        assert inv.name == "cse"
+        assert inv.options == {}
+
+    def test_comma_separated_passes_in_order(self):
+        invocations = parse_pipeline_spec("cse,region-gvn,canonicalize,dce")
+        assert [i.name for i in invocations] == [
+            "cse", "region-gvn", "canonicalize", "dce",
+        ]
+
+    def test_whitespace_is_insignificant(self):
+        spec = "  cse , region-gvn ,\n canonicalize{ ablate = case-elim } "
+        invocations = parse_pipeline_spec(spec)
+        assert [i.name for i in invocations] == [
+            "cse", "region-gvn", "canonicalize",
+        ]
+        assert invocations[2].options == {"ablate": ["case-elim"]}
+
+    def test_option_payloads(self):
+        (inv,) = parse_pipeline_spec(
+            "canonicalize{ablate=case-elim,ablate=dead-region,engine=rescan}"
+        )
+        assert inv.options == {
+            "ablate": ["case-elim", "dead-region"],
+            "engine": ["rescan"],
+        }
+
+    def test_bare_option_is_a_true_flag(self):
+        (inv,) = parse_pipeline_spec("canonicalize{dce}")
+        assert inv.options == {"dce": ["true"]}
+
+    def test_empty_option_braces(self):
+        (inv,) = parse_pipeline_spec("cse{}")
+        assert inv.options == {}
+
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("", "empty pipeline spec"),
+            ("   ", "empty pipeline spec"),
+            ("cse,,dce", "expected a pass name"),
+            ("cse,", "trailing ','"),
+            ("cse dce", "expected ',' between passes"),
+            ("canonicalize{ablate=case-elim", "unterminated '{'"),
+            ("canonicalize{=x}", "malformed option"),
+            ("canonicalize{ablate=}", "malformed option"),
+            ("canonicalize{ablate=a,,engine=b}", "empty option"),
+            ("{x}", "expected a pass name"),
+        ],
+    )
+    def test_malformed_specs(self, spec, message):
+        with pytest.raises(PipelineSpecError, match=re.escape(message)):
+            parse_pipeline_spec(spec)
+
+
+class TestResolution:
+    def test_registry_contents(self):
+        assert sorted(registered_passes()) == EXPECTED_PASSES
+
+    def test_build_passes_constructs_registered_classes(self):
+        passes = build_passes("cse,canonicalize")
+        assert isinstance(passes[0], CSEPass)
+        assert isinstance(passes[1], CanonicalizePass)
+
+    def test_build_pipeline_returns_pass_manager(self):
+        pipeline = build_pipeline("cse,dce", verify_each=False)
+        assert isinstance(pipeline, PassManager)
+        assert [p.name for p in pipeline.passes] == ["cse", "dce"]
+
+    def test_inline_option_reaches_constructor(self):
+        (inline,) = build_passes("inline{max-callee-ops=3}")
+        assert isinstance(inline, InlinerPass)
+        assert inline.max_callee_ops == 3
+
+    def test_canonicalize_ablation_drops_family(self):
+        (full,) = build_passes("canonicalize")
+        (ablated,) = build_passes("canonicalize{ablate=case-elim}")
+        assert len(ablated.patterns()) < len(full.patterns())
+
+    def test_unknown_pass(self):
+        with pytest.raises(PipelineSpecError, match="unknown pass 'nope'"):
+            build_passes("cse,nope,dce")
+
+    def test_unknown_option(self):
+        with pytest.raises(
+            PipelineSpecError,
+            match=re.escape("pass 'cse' accepts no option 'x' (known options: none)"),
+        ):
+            build_passes("cse{x=1}")
+
+    def test_out_of_choice_value(self):
+        with pytest.raises(
+            PipelineSpecError, match="option ablate='zzz' of pass 'canonicalize'"
+        ):
+            build_passes("canonicalize{ablate=zzz}")
+
+    def test_non_repeatable_option_duplicated(self):
+        with pytest.raises(
+            PipelineSpecError,
+            match="option 'engine' of pass 'canonicalize' given 2 times",
+        ):
+            build_passes("canonicalize{engine=worklist,engine=rescan}")
+
+    def test_constructor_validation_is_a_spec_error(self):
+        with pytest.raises(
+            PipelineSpecError,
+            match=re.escape("pass 'inline': max-callee-ops='zz' is not an integer"),
+        ):
+            build_passes("inline{max-callee-ops=zz}")
+
+
+class TestCanonicalisation:
+    def test_whitespace_and_option_order_normalise(self):
+        spec = " cse, region-gvn ,canonicalize{engine=worklist,ablate=case-elim},dce"
+        assert canonical_pipeline_spec(spec) == (
+            "cse,region-gvn,canonicalize{ablate=case-elim,engine=worklist},dce"
+        )
+
+    def test_canonical_form_is_a_fixpoint(self):
+        spec = "canonicalize{engine=rescan,ablate=dead-region,ablate=case-elim}"
+        canonical = canonical_pipeline_spec(spec)
+        assert canonical_pipeline_spec(canonical) == canonical
+
+    def test_fingerprint_ignores_spelling(self):
+        a = pipeline_fingerprint("cse,canonicalize{engine=worklist,ablate=case-elim}")
+        b = pipeline_fingerprint(" cse ,canonicalize{ablate=case-elim,engine=worklist}")
+        assert a == b
+
+    def test_fingerprint_separates_pipelines(self):
+        fingerprints = {
+            pipeline_fingerprint(spec)
+            for spec in (
+                "cse",
+                "cse,dce",
+                "dce,cse",
+                "canonicalize",
+                "canonicalize{ablate=case-elim}",
+                "canonicalize{engine=rescan}",
+            )
+        }
+        assert len(fingerprints) == 6
+
+    def test_fingerprint_shape(self):
+        fingerprint = pipeline_fingerprint("cse")
+        assert re.fullmatch(r"[0-9a-f]{16}", fingerprint)
+
+
+class TestCompilerSpecs:
+    def test_default_rgn_spec(self):
+        assert rgn_pipeline_spec(PipelineOptions()) == (
+            "cse,region-gvn,canonicalize,dce"
+        )
+
+    def test_ablations_surface_as_canonicalize_options(self):
+        options = PipelineOptions(enable_case_elimination=False)
+        assert rgn_pipeline_spec(options) == (
+            "cse,region-gvn,canonicalize{ablate=case-elim},dce"
+        )
+
+    def test_engine_surfaces_as_canonicalize_option(self):
+        options = PipelineOptions(rewrite_engine="rescan")
+        assert rgn_pipeline_spec(options) == (
+            "cse,region-gvn,canonicalize{engine=rescan},dce"
+        )
+
+    def test_fully_ablated_spec_drops_canonicalize(self):
+        options = PipelineOptions(
+            enable_constant_fold=False,
+            enable_case_elimination=False,
+            enable_common_branch_elimination=False,
+            enable_dead_region_elimination=False,
+        )
+        assert "canonicalize" not in rgn_pipeline_spec(options)
+
+    def test_every_variant_spec_builds(self):
+        for options in (
+            PipelineOptions(),
+            PipelineOptions(enable_dead_region_elimination=False),
+            PipelineOptions(rewrite_engine="rescan"),
+        ):
+            build_pipeline(rgn_pipeline_spec(options), verify_each=False)
+
+
+class TestDocsDrift:
+    def test_passes_md_exists(self):
+        assert PASSES_MD.is_file(), "docs/PASSES.md is missing"
+
+    def test_every_registered_pass_documented(self):
+        text = PASSES_MD.read_text(encoding="utf-8")
+        documented = set(re.findall(r"`([A-Za-z][A-Za-z0-9+_.\-]*)`", text))
+        missing = sorted(set(registered_passes()) - documented)
+        assert not missing, (
+            "passes registered in the pass registry but absent from "
+            f"docs/PASSES.md: {missing}"
+        )
