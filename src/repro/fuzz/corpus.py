@@ -1,0 +1,70 @@
+"""The checked-in counterexample corpus (``tests/corpus/``).
+
+Every minimised counterexample the fuzzer finds is pretty-printed back to
+surface syntax and saved as an ordinary ``.lean`` file with a provenance
+header.  The corpus is replayed through the full differential matrix by a
+fast regression test on every run (``tests/test_fuzz.py``), so a bug found
+once by fuzzing becomes a permanent named test — the way "digits" became
+a benchmark.
+
+File format::
+
+    -- fuzz counterexample
+    -- reason: <first line of the failure reason>
+    <mini-LEAN source>
+
+The name is content-addressed (``fuzz_<sha256[:12]>.lean``), so saving the
+same shrunk program twice is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: Default corpus location when running from a repo checkout.
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+_HEADER = "-- fuzz counterexample"
+
+
+def corpus_name(source: str) -> str:
+    """Content-addressed file name for a counterexample program."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+    return f"fuzz_{digest}.lean"
+
+
+def save_counterexample(
+    source: str, directory: Path, *, reason: Optional[str] = None
+) -> Path:
+    """Save ``source`` into the corpus; returns the (possibly existing) path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / corpus_name(source)
+    if path.exists():
+        return path
+    lines = [_HEADER]
+    if reason:
+        first_line = reason.strip().splitlines()[0]
+        lines.append(f"-- reason: {first_line}")
+    text = "\n".join(lines) + "\n" + source
+    if not text.endswith("\n"):
+        text += "\n"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: Optional[Path] = None) -> List[Tuple[str, str]]:
+    """``(name, source)`` for every corpus program, sorted by name.
+
+    The provenance header is ordinary mini-LEAN comment syntax, so the
+    file content replays unmodified.
+    """
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    return [
+        (path.name, path.read_text(encoding="utf-8"))
+        for path in sorted(directory.glob("*.lean"))
+    ]

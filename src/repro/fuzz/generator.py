@@ -1,0 +1,656 @@
+"""Well-typed mini-LEAN program generator (hypothesis strategies).
+
+:func:`typed_programs` draws a complete surface
+:class:`~repro.lean.ast.Program` — inductive declarations, recursive and
+higher-order functions, partial applications, join-point-heavy nested
+matches, let/if towers — that is **guaranteed to type-check** and
+**guaranteed to terminate** under every execution engine:
+
+* generation is type-directed: every expression is built against a goal
+  type with an explicit environment, so the printed source re-checks by
+  construction (``tests/test_fuzz.py`` meta-tests this over hundreds of
+  examples);
+* recursion only appears through two structurally decreasing schemas —
+  a Nat countdown (``if n == 0 then base else ... f (n - 1) ...``) whose
+  entry argument is always bounded with ``% k`` at every call site, and
+  folds/maps over generated ADTs that only recurse on constructor fields
+  of the same type, over values whose construction depth is bounded;
+* numeric literals stay small and division by zero is total in the
+  runtime, so no generated program can trap.
+
+Every expression's type is independent of the checker's bidirectional
+expected-type threading: ``Int`` literals are spelled as negative
+``IntLit`` or ``Nat.toInt n``, never as a coerced ``NatLit``.  That makes
+print → parse → check stable (the round-trip returns the identical typed
+AST), which is what lets shrunk counterexamples live on as plain
+``.lean`` corpus files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import strategies as st
+
+from ..lean import ast
+
+#: Scalar goal types the generator draws from.
+_SCALARS: Tuple[ast.LeanType, ...] = (ast.NatType(), ast.IntType(), ast.BoolType())
+
+_NAT = ast.NatType()
+_INT = ast.IntType()
+_BOOL = ast.BoolType()
+
+#: Builtins the generator may call (total, scalar-only).  Array builtins
+#: are excluded: ``Array.get`` can trap on out-of-range indices.
+_SAFE_BUILTINS: Tuple[Tuple[str, Tuple[ast.LeanType, ...], ast.LeanType], ...] = (
+    ("Nat.add", (_NAT, _NAT), _NAT),
+    ("Nat.sub", (_NAT, _NAT), _NAT),
+    ("Nat.mul", (_NAT, _NAT), _NAT),
+    ("Nat.div", (_NAT, _NAT), _NAT),
+    ("Nat.mod", (_NAT, _NAT), _NAT),
+    ("Nat.decEq", (_NAT, _NAT), _BOOL),
+    ("Nat.decLt", (_NAT, _NAT), _BOOL),
+    ("Nat.decLe", (_NAT, _NAT), _BOOL),
+    ("Nat.toInt", (_NAT,), _INT),
+    ("Int.add", (_INT, _INT), _INT),
+    ("Int.sub", (_INT, _INT), _INT),
+    ("Int.mul", (_INT, _INT), _INT),
+    ("Int.neg", (_INT,), _INT),
+    ("Int.toNat", (_INT,), _NAT),
+)
+
+_NAT_OPS = ("+", "-", "*", "/", "%")
+_INT_OPS = ("+", "-", "*")
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class FuncInfo:
+    """A callable the generator may reference: a def or a safe builtin."""
+
+    __slots__ = ("name", "params", "result", "decreasing", "builtin")
+
+    def __init__(self, name, params, result, decreasing=False, builtin=False):
+        self.name = name
+        self.params: Tuple[ast.LeanType, ...] = tuple(params)
+        self.result = result
+        #: True for Nat-countdown recursions: every call site must bound
+        #: the first argument (the termination measure) with ``% k``.
+        self.decreasing = decreasing
+        #: Builtins (like constructors) must be fully applied — the λpure
+        #: lowering has no ``pap`` for them, mirroring LEAN's eta-expansion.
+        self.builtin = builtin
+
+    @property
+    def type(self) -> ast.LeanType:
+        return ast.fun_type(list(self.params), self.result)
+
+
+class _Gen:
+    """One program generation: draws from hypothesis, tracks the environment."""
+
+    def __init__(self, draw):
+        self.draw = draw
+        self.program = ast.Program()
+        #: ADT name -> [(qualified ctor name, field types)].
+        self.ctors: Dict[str, List[Tuple[str, List[ast.LeanType]]]] = {}
+        #: ADT name -> name of its canonical ``T -> Nat`` size fold.
+        self.size_folds: Dict[str, str] = {}
+        self.funcs: List[FuncInfo] = [
+            FuncInfo(name, params, result, builtin=True)
+            for name, params, result in _SAFE_BUILTINS
+        ]
+        self.counter = 0
+        self.pap_depth = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # -- types ---------------------------------------------------------------
+    def adt_names(self) -> List[str]:
+        return list(self.ctors)
+
+    def draw_type(self, *, allow_adt: bool = True, allow_fun: bool = False):
+        pool: List[ast.LeanType] = list(_SCALARS)
+        if allow_adt:
+            pool.extend(ast.DataType(name) for name in self.adt_names())
+        if allow_fun:
+            pool.append(ast.FunType(_NAT, _NAT))
+            pool.append(ast.FunType(_NAT, _BOOL))
+        return self.draw(st.sampled_from(pool))
+
+    # -- inductives ----------------------------------------------------------
+    def gen_inductive(self) -> ast.InductiveDecl:
+        name = self.fresh("T")
+        field_pool: List[ast.LeanType] = [_NAT, _BOOL, _INT]
+        field_pool.extend(ast.DataType(n) for n in self.adt_names())
+        recursive = ast.DataType(name)
+
+        constructors: List[ast.ConstructorDecl] = []
+        signatures: List[Tuple[str, List[ast.LeanType]]] = []
+        n_ctors = self.draw(st.integers(2, 3))
+        for index in range(n_ctors):
+            fields: List[Tuple[str, ast.LeanType]] = []
+            n_fields = self.draw(st.integers(0, 2 if index == 0 else 3))
+            for _ in range(n_fields):
+                # The first constructor is the base case: no recursive
+                # fields, so every ADT has finite values.
+                if index == 0:
+                    t = self.draw(st.sampled_from(field_pool))
+                else:
+                    t = self.draw(st.sampled_from(field_pool + [recursive]))
+                fields.append((self.fresh("fld"), t))
+            ctor = ast.ConstructorDecl(f"C{index}", fields)
+            constructors.append(ctor)
+            signatures.append((f"{name}.{ctor.name}", [t for _, t in fields]))
+
+        self.ctors[name] = signatures
+        self.program.inductives.append(ast.InductiveDecl(name, constructors))
+        self.gen_size_fold(name)
+        return self.program.inductives[-1]
+
+    def gen_size_fold(self, adt: str) -> None:
+        """The canonical ``size : T -> Nat`` fold — every ADT is observable.
+
+        Deterministic schema: ``1`` plus the size of every recursive field,
+        plus each scalar field reduced to Nat.  Fields of *earlier* ADTs go
+        through their own size folds (generated before this one).
+        """
+        fold_name = f"size{adt}"
+        param = self.fresh("x")
+        arms: List[ast.MatchArm] = []
+        for qualified, field_types in self.ctors[adt]:
+            names = [self.fresh("f") for _ in field_types]
+            patterns: List[ast.Pattern] = [
+                ast.PCtor(qualified, [ast.PVar(n) for n in names])
+                if names
+                else ast.PCtor(qualified)
+            ]
+            body: ast.Expr = ast.NatLit(1)
+            for field_name, field_type in zip(names, field_types):
+                term = self._measure_term(field_name, field_type, adt, fold_name)
+                if term is not None:
+                    body = ast.BinOp("+", body, term)
+            arms.append(ast.MatchArm(patterns, body))
+        decl = ast.DefDecl(
+            fold_name,
+            [(param, ast.DataType(adt))],
+            _NAT,
+            ast.Match([ast.Var(param)], arms),
+        )
+        self.program.defs.append(decl)
+        self.size_folds[adt] = fold_name
+        self.funcs.append(FuncInfo(fold_name, [ast.DataType(adt)], _NAT))
+
+    def _measure_term(self, name, field_type, adt, fold_name) -> Optional[ast.Expr]:
+        var = ast.Var(name)
+        if isinstance(field_type, ast.NatType):
+            return var
+        if isinstance(field_type, ast.IntType):
+            return ast.App(ast.Var("Int.toNat"), [var])
+        if isinstance(field_type, ast.BoolType):
+            return ast.If(var, ast.NatLit(1), ast.NatLit(0))
+        if isinstance(field_type, ast.DataType):
+            fold = fold_name if field_type.name == adt else self.size_folds[field_type.name]
+            return ast.App(ast.Var(fold), [var])
+        return None
+
+    # -- expressions -----------------------------------------------------------
+    def gen_expr(self, goal: ast.LeanType, env: Dict[str, ast.LeanType], depth: int) -> ast.Expr:
+        if depth <= 0:
+            return self.leaf(goal, env)
+        choices = ["leaf", "let", "if", "call"]
+        if isinstance(goal, (ast.NatType, ast.IntType)):
+            choices += ["binop", "binop"]
+        if isinstance(goal, ast.BoolType):
+            choices += ["compare", "boolop"]
+        if isinstance(goal, ast.DataType):
+            choices += ["construct", "construct"]
+        if isinstance(goal, ast.FunType):
+            choices += ["lambda", "lambda"]
+        if self.ctors or not isinstance(goal, ast.FunType):
+            choices.append("match")
+        kind = self.draw(st.sampled_from(choices))
+        if kind == "leaf":
+            return self.leaf(goal, env)
+        if kind == "let":
+            return self.gen_let(goal, env, depth)
+        if kind == "if":
+            return ast.If(
+                self.gen_expr(_BOOL, env, depth - 1),
+                self.gen_expr(goal, env, depth - 1),
+                self.gen_expr(goal, env, depth - 1),
+            )
+        if kind == "binop":
+            ops = _NAT_OPS if isinstance(goal, ast.NatType) else _INT_OPS
+            return ast.BinOp(
+                self.draw(st.sampled_from(ops)),
+                self.gen_expr(goal, env, depth - 1),
+                self.gen_expr(goal, env, depth - 1),
+            )
+        if kind == "compare":
+            operand = self.draw(st.sampled_from((_NAT, _INT)))
+            return ast.BinOp(
+                self.draw(st.sampled_from(_COMPARISONS)),
+                self.gen_expr(operand, env, depth - 1),
+                self.gen_expr(operand, env, depth - 1),
+            )
+        if kind == "boolop":
+            return ast.BinOp(
+                self.draw(st.sampled_from(("&&", "||"))),
+                self.gen_expr(_BOOL, env, depth - 1),
+                self.gen_expr(_BOOL, env, depth - 1),
+            )
+        if kind == "construct":
+            return self.construct(goal.name, env, depth - 1)
+        if kind == "lambda":
+            return self.gen_lambda(goal, env, depth)
+        if kind == "call":
+            call = self.gen_call(goal, env, depth)
+            if call is not None:
+                return call
+            return self.leaf(goal, env)
+        return self.gen_match(goal, env, depth)
+
+    def gen_let(self, goal, env, depth) -> ast.Expr:
+        value_type = self.draw_type(allow_fun=True)
+        value = self.gen_expr(value_type, env, depth - 1)
+        # Fresh name usually; occasionally shadow an existing binding (the
+        # frontend supports it — see the testsuite's "shadowing" case).
+        if env and self.draw(st.booleans()) and self.draw(st.booleans()):
+            name = self.draw(st.sampled_from(sorted(env)))
+        else:
+            name = self.fresh("v")
+        annotation = value_type if self.draw(st.booleans()) else None
+        inner = dict(env)
+        inner[name] = value_type
+        return ast.Let(name, value, self.gen_expr(goal, inner, depth - 1), annotation)
+
+    def gen_lambda(self, goal: ast.FunType, env, depth) -> ast.Expr:
+        params, result = ast.uncurry(goal)
+        names = [self.fresh("a") for _ in params]
+        inner = dict(env)
+        inner.update(zip(names, params))
+        body = self.gen_expr(result, inner, depth - 1)
+        return ast.Lambda(list(zip(names, params)), body)
+
+    def leaf(self, goal: ast.LeanType, env: Dict[str, ast.LeanType]) -> ast.Expr:
+        matching = sorted(name for name, t in env.items() if t == goal)
+        if matching and self.draw(st.booleans()):
+            return ast.Var(self.draw(st.sampled_from(matching)))
+        if isinstance(goal, ast.NatType):
+            return ast.NatLit(self.draw(st.integers(0, 7)))
+        if isinstance(goal, ast.IntType):
+            # Negative literal or Nat.toInt n — never a coerced NatLit, so
+            # the expression is Int whether or not an expected type is
+            # threaded at re-check time.
+            if self.draw(st.booleans()):
+                return ast.IntLit(self.draw(st.integers(-7, -1)))
+            return ast.App(ast.Var("Nat.toInt"), [ast.NatLit(self.draw(st.integers(0, 7)))])
+        if isinstance(goal, ast.BoolType):
+            return ast.BoolLit(self.draw(st.booleans()))
+        if isinstance(goal, ast.DataType):
+            return self.construct(goal.name, env, 0)
+        if isinstance(goal, ast.FunType):
+            partial = self.gen_partial_application(goal, env)
+            if partial is not None and self.draw(st.booleans()):
+                return partial
+            return self.gen_lambda(goal, env, 1)
+        raise AssertionError(f"no leaf for goal type {goal}")
+
+    def construct(self, adt: str, env, depth) -> ast.Expr:
+        """Build a value of ``adt``; ``depth == 0`` forces the base case."""
+        signatures = self.ctors[adt]
+        pool = signatures if depth > 0 else [signatures[0]]
+        qualified, field_types = self.draw(st.sampled_from(pool))
+        if not field_types:
+            return ast.Var(qualified)
+        args = [self.gen_expr(t, env, min(depth - 1, 1)) for t in field_types]
+        return ast.App(ast.Var(qualified), args)
+
+    def gen_call(self, goal, env, depth) -> Optional[ast.Expr]:
+        """Fully apply a def, builtin or function-typed variable yielding ``goal``."""
+        candidates: List[Tuple[ast.Expr, FuncInfo]] = [
+            (ast.Var(info.name), info)
+            for info in self.funcs
+            if info.result == goal and info.params
+        ]
+        for name, t in env.items():
+            params, result = ast.uncurry(t)
+            if params and result == goal:
+                candidates.append((ast.Var(name), FuncInfo(name, params, result)))
+        if not candidates:
+            return None
+        fn, info = self.draw(st.sampled_from(candidates))
+        args = [
+            self.gen_argument(t, env, depth - 1, bounded=(info.decreasing and i == 0))
+            for i, t in enumerate(info.params)
+        ]
+        return ast.App(fn, args)
+
+    def gen_argument(self, t, env, depth, *, bounded: bool) -> ast.Expr:
+        expr = self.gen_expr(t, env, depth)
+        if bounded:
+            # Termination measure of a Nat-countdown recursion: cap it with
+            # ``% k`` so the recursion depth never exceeds k - 1.
+            return ast.BinOp("%", expr, ast.NatLit(self.draw(st.integers(2, 9))))
+        return expr
+
+    def gen_partial_application(self, goal: ast.FunType, env) -> Optional[ast.Expr]:
+        # A partially applied higher-order def needs its own function-typed
+        # arguments, which may be partial applications in turn — cap the
+        # nesting or generation recurses forever when no function-typed
+        # variable is in scope to break the cycle.
+        if self.pap_depth >= 2:
+            return None
+        wanted, result = ast.uncurry(goal)
+        candidates: List[FuncInfo] = [
+            info
+            for info in self.funcs
+            if not info.builtin
+            and info.result == result
+            and len(info.params) > len(wanted)
+            and list(info.params[len(info.params) - len(wanted):]) == wanted
+        ]
+        if not candidates:
+            return None
+        info = self.draw(st.sampled_from(candidates))
+        applied = len(info.params) - len(wanted)
+        self.pap_depth += 1
+        try:
+            args = [
+                self.gen_argument(t, env, 0, bounded=(info.decreasing and i == 0))
+                for i, t in enumerate(info.params[:applied])
+            ]
+        finally:
+            self.pap_depth -= 1
+        return ast.App(ast.Var(info.name), args)
+
+    # -- matches ---------------------------------------------------------------
+    def gen_match(self, goal, env, depth) -> ast.Expr:
+        scrutinee_pool: List[ast.LeanType] = [_NAT, _BOOL]
+        scrutinee_pool.extend(ast.DataType(n) for n in self.adt_names())
+        scrutinee_type = self.draw(st.sampled_from(scrutinee_pool))
+        if isinstance(scrutinee_type, ast.DataType):
+            return self.gen_adt_match(scrutinee_type.name, goal, env, depth)
+        # Nat/Bool matches may take a second scrutinee — multi-column
+        # matches lower into join-point towers.
+        scrutinees = [self.gen_expr(scrutinee_type, env, depth - 1)]
+        columns = [scrutinee_type]
+        if self.draw(st.booleans()):
+            second = self.draw(st.sampled_from([_NAT, _BOOL]))
+            scrutinees.append(self.gen_expr(second, env, depth - 1))
+            columns.append(second)
+        arms: List[ast.MatchArm] = []
+        n_specific = self.draw(st.integers(1, 2))
+        for _ in range(n_specific):
+            patterns = [self._scalar_pattern(t) for t in columns]
+            arms.append(ast.MatchArm(patterns, self.gen_expr(goal, env, depth - 1)))
+        # Exhaustiveness: the last arm binds every column.
+        names = [self.fresh("m") for _ in columns]
+        inner = dict(env)
+        inner.update(zip(names, columns))
+        arms.append(
+            ast.MatchArm(
+                [ast.PVar(n) for n in names], self.gen_expr(goal, inner, depth - 1)
+            )
+        )
+        return ast.Match(scrutinees, arms)
+
+    def _scalar_pattern(self, t: ast.LeanType) -> ast.Pattern:
+        if isinstance(t, ast.BoolType):
+            return ast.PBool(self.draw(st.booleans()))
+        if self.draw(st.booleans()):
+            return ast.PWild()
+        return ast.PLit(self.draw(st.integers(0, 4)))
+
+    def gen_adt_match(self, adt: str, goal, env, depth) -> ast.Expr:
+        signatures = self.ctors[adt]
+        scrutinee = self.gen_expr(ast.DataType(adt), env, depth - 1)
+        arms: List[ast.MatchArm] = []
+        # Optional leading arm with one level of nested constructor
+        # patterns — deeper join-point nesting; exhaustiveness is unharmed
+        # because the per-constructor arms below still cover everything.
+        if self.draw(st.booleans()):
+            nested = self._nested_arm(adt, goal, env, depth)
+            if nested is not None:
+                arms.append(nested)
+        for qualified, field_types in signatures:
+            names: List[Optional[str]] = []
+            subpatterns: List[ast.Pattern] = []
+            for t in field_types:
+                if self.draw(st.booleans()):
+                    name = self.fresh("b")
+                    names.append(name)
+                    subpatterns.append(ast.PVar(name))
+                else:
+                    names.append(None)
+                    subpatterns.append(ast.PWild())
+            inner = dict(env)
+            inner.update(
+                (name, t)
+                for name, t in zip(names, field_types)
+                if name is not None
+            )
+            pattern = ast.PCtor(qualified, subpatterns) if subpatterns else ast.PCtor(qualified)
+            arms.append(ast.MatchArm([pattern], self.gen_expr(goal, inner, depth - 1)))
+        return ast.Match([scrutinee], arms)
+
+    def _nested_arm(self, adt: str, goal, env, depth) -> Optional[ast.MatchArm]:
+        signatures = self.ctors[adt]
+        nestable = [
+            (qualified, field_types)
+            for qualified, field_types in signatures
+            if any(isinstance(t, ast.DataType) for t in field_types)
+        ]
+        if not nestable:
+            return None
+        qualified, field_types = self.draw(st.sampled_from(nestable))
+        inner = dict(env)
+        subpatterns: List[ast.Pattern] = []
+        nested_done = False
+        for t in field_types:
+            if isinstance(t, ast.DataType) and not nested_done:
+                nested_done = True
+                inner_sigs = self.ctors[t.name]
+                sub_qualified, sub_fields = self.draw(st.sampled_from(inner_sigs))
+                sub_subs: List[ast.Pattern] = []
+                for sub_t in sub_fields:
+                    name = self.fresh("n")
+                    inner[name] = sub_t
+                    sub_subs.append(ast.PVar(name))
+                subpatterns.append(
+                    ast.PCtor(sub_qualified, sub_subs)
+                    if sub_subs
+                    else ast.PCtor(sub_qualified)
+                )
+            else:
+                name = self.fresh("n")
+                inner[name] = t
+                subpatterns.append(ast.PVar(name))
+        pattern = ast.PCtor(qualified, subpatterns)
+        return ast.MatchArm([pattern], self.gen_expr(goal, inner, depth - 1))
+
+    # -- function declarations ---------------------------------------------------
+    def gen_def(self, depth: int) -> None:
+        kinds = ["plain", "nat_rec", "higher_order"]
+        if self.ctors:
+            kinds += ["adt_fold", "adt_map"]
+        kind = self.draw(st.sampled_from(kinds))
+        if kind == "plain":
+            self._def_plain(depth, higher_order=False)
+        elif kind == "higher_order":
+            self._def_plain(depth, higher_order=True)
+        elif kind == "nat_rec":
+            self._def_nat_rec(depth)
+        elif kind == "adt_fold":
+            self._def_adt_fold(depth)
+        else:
+            self._def_adt_map(depth)
+
+    def _draw_params(self, first: Optional[ast.LeanType], *, higher_order: bool):
+        params: List[Tuple[str, ast.LeanType]] = []
+        if first is not None:
+            params.append((self.fresh("p"), first))
+        if higher_order:
+            fn_type = self.draw(
+                st.sampled_from(
+                    [
+                        ast.FunType(_NAT, _NAT),
+                        ast.FunType(_NAT, _BOOL),
+                        ast.FunType(_NAT, ast.FunType(_NAT, _NAT)),
+                    ]
+                )
+            )
+            params.append((self.fresh("g"), fn_type))
+        for _ in range(self.draw(st.integers(0 if params else 1, 2))):
+            params.append((self.fresh("p"), self.draw_type()))
+        return params
+
+    def _finish_def(self, name, params, ret, body, *, decreasing=False) -> None:
+        self.program.defs.append(ast.DefDecl(name, params, ret, body))
+        self.funcs.append(
+            FuncInfo(name, [t for _, t in params], ret, decreasing=decreasing)
+        )
+
+    def _def_plain(self, depth, *, higher_order: bool) -> None:
+        name = self.fresh("fn")
+        params = self._draw_params(None, higher_order=higher_order)
+        ret = self.draw_type()
+        env = dict(params)
+        self._finish_def(name, params, ret, self.gen_expr(ret, env, depth))
+
+    def _def_nat_rec(self, depth) -> None:
+        """``f n extras := if n == 0 then base else ... f (n - 1) ...``."""
+        name = self.fresh("fn")
+        n = self.fresh("n")
+        params = [(n, _NAT)] + self._draw_params(None, higher_order=False)[:2]
+        ret = self.draw_type()
+        env = dict(params)
+        base = self.gen_expr(ret, env, depth - 1)
+        rec_args: List[ast.Expr] = [ast.BinOp("-", ast.Var(n), ast.NatLit(1))]
+        rec_args.extend(self.gen_expr(t, env, 1) for _, t in params[1:])
+        r = self.fresh("r")
+        step_env = dict(env)
+        step_env[r] = ret
+        use = self.gen_expr(ret, step_env, depth - 1)
+        if isinstance(ret, ast.NatType) and self.draw(st.booleans()):
+            use = ast.BinOp("+", ast.Var(r), use)
+        step = ast.Let(r, ast.App(ast.Var(name), rec_args), use)
+        body = ast.If(ast.BinOp("==", ast.Var(n), ast.NatLit(0)), base, step)
+        self._finish_def(name, params, ret, body, decreasing=True)
+
+    def _def_adt_fold(self, depth) -> None:
+        """Structural recursion over an ADT to a scalar."""
+        adt = self.draw(st.sampled_from(self.adt_names()))
+        name = self.fresh("fn")
+        x = self.fresh("x")
+        params = [(x, ast.DataType(adt))] + self._draw_params(None, higher_order=False)[:1]
+        ret = self.draw(st.sampled_from(list(_SCALARS)))
+        env = dict(params)
+        extras = [ast.Var(p) for p, _ in params[1:]]
+        arms: List[ast.MatchArm] = []
+        for qualified, field_types in self.ctors[adt]:
+            field_names = [self.fresh("f") for _ in field_types]
+            inner = dict(env)
+            inner.update(zip(field_names, field_types))
+            pattern = ast.PCtor(qualified, [ast.PVar(f) for f in field_names]) \
+                if field_names else ast.PCtor(qualified)
+            # Let-bind one recursive call per same-ADT field (fields are
+            # strictly smaller, so this always terminates), then draw the
+            # arm body with those results in scope.
+            rec_pairs = [
+                (field_name, self.fresh("r"))
+                for field_name, t in zip(field_names, field_types)
+                if isinstance(t, ast.DataType) and t.name == adt
+            ]
+            body_env = dict(inner)
+            body_env.update((r, ret) for _, r in rec_pairs)
+            use = self.gen_expr(ret, body_env, depth - 1)
+            for field_name, r in reversed(rec_pairs):
+                use = ast.Let(
+                    r, ast.App(ast.Var(name), [ast.Var(field_name)] + extras), use
+                )
+            arms.append(ast.MatchArm([pattern], use))
+        body = ast.Match([ast.Var(x)], arms)
+        self._finish_def(name, params, ret, body)
+
+    def _def_adt_map(self, depth) -> None:
+        """Structural rebuild of an ADT — the constructor-reuse hot path."""
+        adt = self.draw(st.sampled_from(self.adt_names()))
+        name = self.fresh("fn")
+        x = self.fresh("x")
+        params = [(x, ast.DataType(adt))] + self._draw_params(None, higher_order=False)[:1]
+        ret = ast.DataType(adt)
+        env = dict(params)
+        extras = [ast.Var(p) for p, _ in params[1:]]
+        arms: List[ast.MatchArm] = []
+        for qualified, field_types in self.ctors[adt]:
+            field_names = [self.fresh("f") for _ in field_types]
+            inner = dict(env)
+            inner.update(zip(field_names, field_types))
+            pattern = ast.PCtor(qualified, [ast.PVar(f) for f in field_names]) \
+                if field_names else ast.PCtor(qualified)
+            rebuilt_args: List[ast.Expr] = []
+            for field_name, t in zip(field_names, field_types):
+                if isinstance(t, ast.DataType) and t.name == adt:
+                    rebuilt_args.append(
+                        ast.App(ast.Var(name), [ast.Var(field_name)] + extras)
+                    )
+                elif self.draw(st.booleans()):
+                    rebuilt_args.append(ast.Var(field_name))
+                else:
+                    rebuilt_args.append(self.gen_expr(t, inner, 1))
+            body = (
+                ast.App(ast.Var(qualified), rebuilt_args)
+                if rebuilt_args
+                else ast.Var(qualified)
+            )
+            arms.append(ast.MatchArm([pattern], body))
+        body = ast.Match([ast.Var(x)], arms)
+        self._finish_def(name, params, ret, body)
+
+    # -- main ----------------------------------------------------------------------
+    def observe(self, call: ast.Expr, result: ast.LeanType) -> Optional[ast.Expr]:
+        """Reduce a call result to Nat so ``main`` can consume it."""
+        if isinstance(result, ast.NatType):
+            return call
+        if isinstance(result, ast.IntType):
+            return ast.App(ast.Var("Int.toNat"), [call])
+        if isinstance(result, ast.BoolType):
+            return ast.If(call, ast.NatLit(1), ast.NatLit(0))
+        if isinstance(result, ast.DataType):
+            return ast.App(ast.Var(self.size_folds[result.name]), [call])
+        return None
+
+    def gen_main(self, depth: int) -> None:
+        terms: List[ast.Expr] = []
+        generated = [info for info in self.funcs if info.name.startswith(("fn", "size"))]
+        for info in generated:
+            if not info.params:
+                continue
+            args = [
+                self.gen_argument(t, {}, 1, bounded=(info.decreasing and i == 0))
+                for i, t in enumerate(info.params)
+            ]
+            observed = self.observe(ast.App(ast.Var(info.name), args), info.result)
+            if observed is not None:
+                terms.append(observed)
+        terms.append(self.gen_expr(_NAT, {}, depth))
+        body = terms[0]
+        for term in terms[1:]:
+            body = ast.BinOp("+", body, term)
+        self.program.defs.append(ast.DefDecl("main", [], _NAT, body))
+
+
+@st.composite
+def typed_programs(draw, max_inductives: int = 2, max_defs: int = 3, depth: int = 3):
+    """Hypothesis strategy: a well-typed, terminating surface ``Program``."""
+    gen = _Gen(draw)
+    for _ in range(draw(st.integers(0, max_inductives))):
+        gen.gen_inductive()
+    for _ in range(draw(st.integers(0, max_defs))):
+        gen.gen_def(draw(st.integers(1, depth)))
+    gen.gen_main(draw(st.integers(1, depth)))
+    return gen.program

@@ -25,7 +25,14 @@ class LeanType:
         return type(self) is type(other) and self.__dict__ == other.__dict__
 
     def __hash__(self):
-        return hash((type(self).__name__, tuple(sorted(self.__dict__.items(), key=lambda kv: kv[0], reverse=False)) if all(isinstance(v, (str, int)) for v in self.__dict__.values()) else id(self)))
+        # Structural, over exactly the fields __eq__ compares: equal types
+        # must hash equal regardless of how their field values are shaped
+        # (nested types included — LeanType fields hash recursively).
+        items = tuple(
+            (key, tuple(value) if isinstance(value, list) else value)
+            for key, value in sorted(self.__dict__.items())
+        )
+        return hash((type(self).__name__, items))
 
 
 class NatType(LeanType):

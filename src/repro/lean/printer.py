@@ -1,0 +1,169 @@
+"""Surface-syntax pretty-printer for mini-LEAN.
+
+The inverse of :mod:`repro.lean.parser`: turns a surface
+:class:`~repro.lean.ast.Program` back into source text that re-parses to a
+structurally identical AST (``parse(print(parse(s)))`` equals
+``parse(s)``, typed-AST equality — guarded by ``tests/test_fuzz.py``).
+
+This is what makes fuzzing counterexamples durable: a shrunk generated
+program is pretty-printed here, saved under ``tests/corpus/`` and replayed
+forever as an ordinary ``.lean`` file.
+
+Parenthesisation is deliberately conservative.  The parser's layout rules
+require nested ``match`` / ``if`` / ``fun`` / ``let`` sub-expressions to be
+parenthesised; instead of tracking the exact contexts where parentheses are
+mandatory, every sub-expression that is not an atom (a name, a non-negative
+literal, ``true``/``false``) is wrapped.  Parentheses are invisible to the
+AST, so the round-trip property is unaffected.
+
+One asymmetry is inherited from the grammar: a *non-negative*
+:class:`~repro.lean.ast.IntLit` has no surface spelling (``5`` always
+parses as a ``NatLit``; the parser only builds ``IntLit`` for ``-n``).
+Parser-produced and generator-produced ASTs never contain one, and the
+printer raises rather than silently printing a literal that would re-parse
+to a different node.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+
+class PrintError(Exception):
+    """Raised on an AST shape that has no faithful surface spelling."""
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def print_type(t: ast.LeanType) -> str:
+    """Surface spelling of a type (function arrows right-associated)."""
+    if isinstance(t, ast.FunType):
+        param = print_type(t.param)
+        if isinstance(t.param, ast.FunType):
+            param = f"({param})"
+        return f"{param} -> {print_type(t.result)}"
+    if isinstance(t, ast.ArrayType):
+        element = print_type(t.element)
+        if isinstance(t.element, (ast.FunType, ast.ArrayType)):
+            element = f"({element})"
+        return f"Array {element}"
+    return str(t)
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+def print_pattern(pattern: ast.Pattern) -> str:
+    if isinstance(pattern, ast.PWild):
+        return "_"
+    if isinstance(pattern, ast.PVar):
+        return pattern.name
+    if isinstance(pattern, ast.PLit):
+        if pattern.value < 0:
+            raise PrintError("negative literal patterns have no surface form")
+        return str(pattern.value)
+    if isinstance(pattern, ast.PBool):
+        return "true" if pattern.value else "false"
+    if isinstance(pattern, ast.PCtor):
+        if not pattern.subpatterns:
+            return pattern.ctor
+        subs = " ".join(print_pattern(p) for p in pattern.subpatterns)
+        return f"({pattern.ctor} {subs})"
+    raise PrintError(f"cannot print pattern {pattern!r}")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def _atom(expr: ast.Expr, indent: str) -> str:
+    """Print ``expr`` so it parses as one application atom."""
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.NatLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    return f"({print_expr(expr, indent)})"
+
+
+def print_expr(expr: ast.Expr, indent: str = "") -> str:
+    """Surface spelling of an expression (conservatively parenthesised)."""
+    if isinstance(expr, (ast.Var, ast.NatLit, ast.BoolLit)):
+        return _atom(expr, indent)
+    if isinstance(expr, ast.IntLit):
+        if expr.value >= 0:
+            raise PrintError(
+                f"IntLit({expr.value}) has no surface spelling (a non-negative "
+                "literal re-parses as a NatLit); use NatLit in an Int context "
+                "or Int.toNat/Nat.toInt conversions"
+            )
+        return str(expr.value)
+    if isinstance(expr, ast.App):
+        parts = [_atom(expr.fn, indent)]
+        parts.extend(_atom(arg, indent) for arg in expr.args)
+        return " ".join(parts)
+    if isinstance(expr, ast.BinOp):
+        return f"{_atom(expr.lhs, indent)} {expr.op} {_atom(expr.rhs, indent)}"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{_atom(expr.operand, indent)}"
+    if isinstance(expr, ast.Let):
+        annotation = (
+            f" : {print_type(expr.annotation)}" if expr.annotation is not None else ""
+        )
+        value = _atom(expr.value, indent)
+        body = print_expr(expr.body, indent)
+        return f"let {expr.name}{annotation} := {value};\n{indent}{body}"
+    if isinstance(expr, ast.If):
+        cond = _atom(expr.cond, indent)
+        then_branch = _atom(expr.then_branch, indent)
+        else_branch = _atom(expr.else_branch, indent)
+        return f"if {cond} then {then_branch} else {else_branch}"
+    if isinstance(expr, ast.Lambda):
+        params = " ".join(f"({n} : {print_type(t)})" for n, t in expr.params)
+        return f"fun {params} => {_atom(expr.body, indent)}"
+    if isinstance(expr, ast.Match):
+        inner = indent + "  "
+        scrutinees = ", ".join(_atom(s, indent) for s in expr.scrutinees)
+        lines = [f"match {scrutinees} with"]
+        for arm in expr.arms:
+            patterns = ", ".join(print_pattern(p) for p in arm.patterns)
+            lines.append(f"{indent}| {patterns} => {_atom(arm.body, inner)}")
+        return "\n".join(lines)
+    raise PrintError(f"cannot print expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def print_inductive(decl: ast.InductiveDecl) -> str:
+    lines = [f"inductive {decl.name} where"]
+    for ctor in decl.constructors:
+        fields = "".join(f" ({n} : {print_type(t)})" for n, t in ctor.fields)
+        lines.append(f"| {ctor.name}{fields}")
+    return "\n".join(lines)
+
+
+def print_def(decl: ast.DefDecl) -> str:
+    prefix = "partial def" if decl.is_partial else "def"
+    params = "".join(f" ({n} : {print_type(t)})" for n, t in decl.params)
+    head = f"{prefix} {decl.name}{params} : {print_type(decl.return_type)} :="
+    body = print_expr(decl.body, "  ")
+    return f"{head}\n  {body}"
+
+
+def print_program(program: ast.Program) -> str:
+    """Re-parseable source text of a surface program."""
+    parts: List[str] = [print_inductive(i) for i in program.inductives]
+    parts.extend(print_def(d) for d in program.defs)
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,9 @@
+-- corpus seed: Int arithmetic, comparisons, boolean operators and shadowing
+def sign (i : Int) : Int :=
+  if i < Nat.toInt 0 then Int.neg i else i
+
+def main : Nat :=
+  let v := -5;
+  let v := sign v;
+  let b := v >= Nat.toInt 0 && 3 < 4;
+  if b then Int.toNat v + 1 else 0

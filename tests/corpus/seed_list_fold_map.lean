@@ -1,0 +1,21 @@
+-- corpus seed: ADT fold and structural map (the constructor-reuse hot path)
+inductive L where
+| nil
+| cons (head : Nat) (tail : L)
+
+def total (xs : L) : Nat :=
+  match xs with
+  | L.nil => 0
+  | L.cons h t =>
+    let r := total t;
+    h + r
+
+def bump (xs : L) : L :=
+  match xs with
+  | L.nil => L.nil
+  | L.cons h t => L.cons (h + 1) (bump t)
+
+def build (n : Nat) : L :=
+  if n == 0 then L.nil else L.cons n (build (n - 1))
+
+def main : Nat := total (bump (build 6))

@@ -1,0 +1,8 @@
+-- corpus seed: Nat-countdown recursion with a bounded measure and let tower
+def fn1 (n : Nat) (p1 : Nat) : Nat :=
+  if n == 0 then p1 + 1
+  else
+    let r1 := fn1 (n - 1) (p1 * 2);
+    r1 + n
+
+def main : Nat := fn1 (13 % 7) 3 + fn1 0 9

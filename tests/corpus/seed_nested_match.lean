@@ -1,0 +1,18 @@
+-- corpus seed: multi-column scalar match and nested constructor patterns
+inductive P where
+| mk (first : Nat) (second : Nat)
+
+inductive Q where
+| none
+| some (value : P)
+
+def classify (q : Q) (k : Nat) : Nat :=
+  match q, k with
+  | Q.some (P.mk a b), 0 => a + b
+  | Q.some p, m =>
+    (match p with
+     | P.mk a _ => a + m)
+  | Q.none, m => m * 2
+
+def main : Nat :=
+  classify (Q.some (P.mk 3 4)) 0 + classify (Q.some (P.mk 5 6)) 2 + classify Q.none 9

@@ -1,0 +1,6 @@
+-- corpus seed: higher-order function, partial application and a lambda
+def addmul (a : Nat) (b : Nat) (c : Nat) : Nat := a * b + c
+
+def twice (g : Nat -> Nat) (x : Nat) : Nat := g (g x)
+
+def main : Nat := twice (addmul 2 3) 4 + twice (fun (y : Nat) => y + 10) 1

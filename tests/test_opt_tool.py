@@ -297,3 +297,63 @@ class TestFileCheckHelper:
 
     def test_regex_spans(self):
         filecheck("%x_7 = op\n", "CHECK: %{{[a-z0-9_$]+}} = op")
+
+
+class TestMalformedInput:
+    """Exit-code contract on bad inputs: IR errors are 1, spec errors 2,
+    and every diagnostic names where in the text things went wrong."""
+
+    def test_truncated_ir_exits_1_with_offset(self, tmp_path, compiled, capsys):
+        text = compiled["rgn"]
+        path = tmp_path / "truncated.mlir"
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        code, _, err = run_opt(capsys, str(path))
+        assert code == 1
+        assert "error:" in err
+        assert "at offset" in err
+
+    def test_undefined_value_exits_1(self, tmp_path, compiled, capsys):
+        broken = compiled["rgn"].replace("%r_", "%undef_", 1)
+        path = tmp_path / "undef.mlir"
+        path.write_text(broken, encoding="utf-8")
+        code, _, err = run_opt(capsys, str(path))
+        assert code == 1
+        assert "undefined value" in err
+
+    def test_unknown_dialect_op_rides_through_generically(
+        self, tmp_path, compiled, capsys
+    ):
+        # Unregistered op names parse into generic operations (the MLIR
+        # convention) and must survive the pipeline untouched rather than
+        # erroring or being silently dropped.
+        exotic = compiled["rgn"].replace('"lp.int"', '"exotic.op"', 1)
+        path = tmp_path / "exotic.mlir"
+        path.write_text(exotic, encoding="utf-8")
+        code, out, _ = run_opt(capsys, str(path), "--pipeline", "cse")
+        assert code == 0
+        assert '"exotic.op"' in out
+
+    def test_spec_syntax_error_exits_2_with_offset(self, rgn_file, capsys):
+        code, _, err = run_opt(capsys, rgn_file, "--pipeline", "cse dce")
+        assert code == 2
+        assert "expected ',' between passes at offset 4 in 'cse dce'" in err
+
+    def test_spec_missing_pass_name_offset(self, rgn_file, capsys):
+        code, _, err = run_opt(capsys, rgn_file, "--pipeline", "cse,,dce")
+        assert code == 2
+        assert "expected a pass name at offset 4 in 'cse,,dce'" in err
+
+    def test_empty_spec_exits_2(self, rgn_file, capsys):
+        code, _, err = run_opt(capsys, rgn_file, "--pipeline", "")
+        assert code == 2
+        assert "empty pipeline spec" in err
+
+    def test_unterminated_options_exit_2(self, rgn_file, capsys):
+        code, _, err = run_opt(capsys, rgn_file, "--pipeline", "canonicalize{engine=rescan")
+        assert code == 2
+        assert "unterminated '{'" in err
+
+    def test_bad_option_value_exits_2(self, rgn_file, capsys):
+        code, _, err = run_opt(capsys, rgn_file, "--pipeline", "inline{max-callee-ops=zz}")
+        assert code == 2
+        assert "is not an integer" in err

@@ -109,6 +109,24 @@ class TestParsing:
         with pytest.raises(PipelineSpecError, match=re.escape(message)):
             parse_pipeline_spec(spec)
 
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("cse dce", "expected ',' between passes at offset 4 in 'cse dce'"),
+            ("cse,,dce", "expected a pass name at offset 4 in 'cse,,dce'"),
+            ("9cse", "expected a pass name at offset 0 in '9cse'"),
+            (
+                "cse,region-gvn;dce",
+                "expected ',' between passes at offset 14 in 'cse,region-gvn;dce'",
+            ),
+        ],
+    )
+    def test_diagnostics_carry_exact_offsets(self, spec, message):
+        # The offset is part of the contract: repro.opt surfaces it
+        # verbatim, and tooling points at the offending spec character.
+        with pytest.raises(PipelineSpecError, match=re.escape(message)):
+            parse_pipeline_spec(spec)
+
 
 class TestResolution:
     def test_registry_contents(self):
