@@ -16,6 +16,17 @@ the λrc-interpreting leanc analogue; everything else runs the lp+rgn MLIR
 pipeline (``default``, the Figure-10 ablations ``simplifier`` / ``rgn`` /
 ``none``, and the RC-optimisation ablations ``rc-naive`` / ``rc-opt`` /
 ``rc-opt+reuse``).
+
+Exit codes tell failure layers apart (see ``docs/RESILIENCE.md``):
+
+* 0 — success,
+* 2 — usage errors (bad flags, unreadable input),
+* 3 — frontend errors (lexing, parsing, type checking),
+* 4 — pipeline errors (a pass crashed or verification rejected its
+  output; a crash reproducer bundle is written into ``--crash-dir`` and
+  its path printed),
+* 5 — execution errors (runtime faults, tripped ``--budget-*`` limits),
+* 1 — anything unexpected.
 """
 
 from __future__ import annotations
@@ -35,6 +46,8 @@ from .backend.pipeline import (
 )
 from .interp.bytecode import EXECUTION_ENGINES
 from .ir.printer import print_module
+from .lean import LexError, ParseError, TypeError_
+from .resilience import FaultPlan, fault_plan
 from .rewrite.driver import ENGINES
 from .telemetry import MetricsRegistry, Tracer, telemetry_session
 
@@ -169,6 +182,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--print-ir-after-all", action="store_true",
         help="print the module's IR after every pass (lp+rgn pipeline only)",
     )
+    parser.add_argument(
+        "--inject-fault", metavar="SITE[:N]", action="append", default=[],
+        help="raise a deterministic fault at the N-th hit of SITE "
+        "(repeatable; python -m repro.opt --list-fault-sites lists them)",
+    )
+    parser.add_argument(
+        "--crash-dir", metavar="DIR", default=".",
+        help="directory crash reproducer bundles are written into when a "
+        "pipeline pass fails (default: current directory)",
+    )
+    parser.add_argument(
+        "--budget-seconds", type=float, metavar="S", default=None,
+        help="wall-clock execution budget; exceeding it exits 5 instead "
+        "of running forever",
+    )
+    parser.add_argument(
+        "--budget-steps", type=int, metavar="N", default=None,
+        help="execution step budget (calls and branches); exceeding it "
+        "exits 5",
+    )
     args = parser.parse_args(argv)
 
     if args.exec_stats and args.execution_engine != "vm":
@@ -185,6 +218,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    try:
+        plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     telemetry_on = bool(args.trace_out or args.metrics_json or args.exec_stats)
     tracer = Tracer() if telemetry_on else None
     registry = MetricsRegistry() if telemetry_on else None
@@ -194,7 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else nullcontext()
     )
     try:
-        with scope:
+        with scope, fault_plan(plan):
             code = _dispatch(args, source)
     finally:
         # Trace and metrics snapshots are written even when the compile or
@@ -208,80 +247,109 @@ def main(argv: Optional[List[str]] = None) -> int:
     return code
 
 
+def _report_crash_bundle(error: BaseException) -> None:
+    """Print the bundle path the pipeline's crash handler attached."""
+    path = getattr(error, "crash_bundle", None)
+    if path:
+        print(f"crash bundle: {path}", file=sys.stderr)
+
+
 def _dispatch(args, source: str) -> int:
-    """Compile, optionally emit, and run — inside any telemetry scope."""
+    """Compile, optionally emit, and run — inside any telemetry scope.
+
+    The compile and execute phases are separate ``try`` blocks so the exit
+    code names the failing layer: 3 for frontend errors, 4 for pipeline
+    errors (after the crash-bundle path is reported), 5 for execution
+    errors.
+    """
     check_heap = not args.no_check_heap
     # One compilation session per CLI invocation: repeated compiles of the
     # same source (e.g. driver scripts importing main) share frontend work.
     session = CompilationSession()
+    if args.variant == "baseline":
+        compiler = BaselineCompiler(
+            rc_mode=args.rc_mode or "naive",
+            session=session,
+            execution_engine=args.execution_engine,
+            execution_budget_seconds=args.budget_seconds,
+            execution_budget_steps=args.budget_steps,
+        )
+    else:
+        options = (
+            PipelineOptions()
+            if args.variant == "default"
+            else PipelineOptions.variant(args.variant)
+        )
+        if args.rc_mode is not None:
+            options.rc_mode = args.rc_mode
+        if args.rewrite_engine is not None:
+            options.rewrite_engine = args.rewrite_engine
+        options.execution_engine = args.execution_engine
+        options.verbose_passes = args.verbose
+        options.print_ir_after = tuple(args.print_ir_after)
+        options.print_ir_after_all = args.print_ir_after_all
+        options.crash_bundle_dir = args.crash_dir
+        options.execution_budget_seconds = args.budget_seconds
+        options.execution_budget_steps = args.budget_steps
+        if args.emit in ("rgn", "rgn-opt"):
+            options.capture_ir = (args.emit,)
+        compiler = MlirCompiler(options, session=session)
+
     try:
-        if args.variant == "baseline":
-            compiler = BaselineCompiler(
-                rc_mode=args.rc_mode or "naive",
-                session=session,
-                execution_engine=args.execution_engine,
-            )
-            artifacts = compiler.compile(source)
-            if args.emit:
-                if args.emit != "c":
-                    print(
-                        "error: the baseline pipeline only emits C",
-                        file=sys.stderr,
-                    )
-                    return 2
-                print(artifacts.c_source)
-                return 0
-            if args.verbose:
-                _print_rc_report(artifacts.rc_report)
-            result = compiler.execute(artifacts.rc_program, check_heap=check_heap)
-        else:
-            options = (
-                PipelineOptions()
-                if args.variant == "default"
-                else PipelineOptions.variant(args.variant)
-            )
-            if args.rc_mode is not None:
-                options.rc_mode = args.rc_mode
-            if args.rewrite_engine is not None:
-                options.rewrite_engine = args.rewrite_engine
-            options.execution_engine = args.execution_engine
-            options.verbose_passes = args.verbose
-            options.print_ir_after = tuple(args.print_ir_after)
-            options.print_ir_after_all = args.print_ir_after_all
-            if args.emit in ("rgn", "rgn-opt"):
-                options.capture_ir = (args.emit,)
-            compiler = MlirCompiler(options, session=session)
-            artifacts = compiler.compile(source)
-            if args.emit == "c":
+        artifacts = compiler.compile(source)
+    except (LexError, ParseError, TypeError_) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"error: {error}", file=sys.stderr)
+        _report_crash_bundle(error)
+        return 4
+
+    if args.variant == "baseline":
+        if args.emit:
+            if args.emit != "c":
                 print(
-                    "error: the lp+rgn pipeline does not emit C; "
-                    "use --variant baseline",
+                    "error: the baseline pipeline only emits C",
                     file=sys.stderr,
                 )
                 return 2
-            if args.emit == "lp":
-                print(print_module(artifacts.lp_module))
-                return 0
-            if args.emit in ("rgn", "rgn-opt"):
-                captured = artifacts.captured_ir.get(args.emit)
-                if captured is None:
-                    print(
-                        "error: this variant does not run the rgn "
-                        "optimisations, so there is no rgn-opt module",
-                        file=sys.stderr,
-                    )
-                    return 2
-                print(captured, end="")
-                return 0
-            if args.emit == "cfg":
-                print(print_module(artifacts.cfg_module))
-                return 0
-            if args.verbose:
-                _print_rc_report(artifacts.rc_report)
-            result = compiler.execute(artifacts.cfg_module, check_heap=check_heap)
+            print(artifacts.c_source)
+            return 0
+        executable = artifacts.rc_program
+    else:
+        if args.emit == "c":
+            print(
+                "error: the lp+rgn pipeline does not emit C; "
+                "use --variant baseline",
+                file=sys.stderr,
+            )
+            return 2
+        if args.emit == "lp":
+            print(print_module(artifacts.lp_module))
+            return 0
+        if args.emit in ("rgn", "rgn-opt"):
+            captured = artifacts.captured_ir.get(args.emit)
+            if captured is None:
+                print(
+                    "error: this variant does not run the rgn "
+                    "optimisations, so there is no rgn-opt module",
+                    file=sys.stderr,
+                )
+                return 2
+            print(captured, end="")
+            return 0
+        if args.emit == "cfg":
+            print(print_module(artifacts.cfg_module))
+            return 0
+        executable = artifacts.cfg_module
+    if args.verbose:
+        _print_rc_report(artifacts.rc_report)
+
+    try:
+        result = compiler.execute(executable, check_heap=check_heap)
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return 5
 
     _print_run_report(result, show_metrics=args.metrics)
     return 0

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from ..dialects.builtin import ModuleOp
 from ..interp.bytecode import (
     EXECUTION_ENGINES,
+    BytecodeError,
     BytecodeProgram,
     VirtualMachine,
     compile_cfg_module,
@@ -48,6 +49,9 @@ from ..ir.printer import print_module
 from ..lean.parser import parse_program
 from ..lean.typecheck import check_program
 from ..rc_opt import RcOptReport, insert_optimized_rc
+from ..resilience.budgets import ExecutionBudget, make_execution_budget
+from ..resilience.bundle import CrashBundleWriter
+from ..resilience.faults import InjectedFault, fault_hit
 from ..rewrite.pass_manager import PassManager
 from ..rewrite.registry import build_pipeline, pipeline_fingerprint
 from ..telemetry import (
@@ -116,6 +120,24 @@ class PipelineOptions:
     #: The lowerings mutate modules in place, so these snapshots cannot be
     #: reconstructed after the fact.
     capture_ir: Tuple[str, ...] = ()
+    #: Directory to write crash reproducer bundles into when a pass fails
+    #: (None disables bundle writing; see :mod:`repro.resilience.bundle`).
+    crash_bundle_dir: Optional[str] = None
+    #: Graceful-degradation ladders: VM fault → tree-walker re-execution,
+    #: corrupt cache entry → recompute (see ``docs/RESILIENCE.md``).
+    enable_fallbacks: bool = True
+    #: Execution budget applied when running compiled programs: wall-clock
+    #: seconds and/or control-transfer steps (None = unbounded).  A tripped
+    #: budget raises :class:`~repro.resilience.budgets.
+    #: ExecutionBudgetExceeded` instead of hanging.
+    execution_budget_seconds: Optional[float] = None
+    execution_budget_steps: Optional[int] = None
+
+    def execution_budget(self) -> Optional[ExecutionBudget]:
+        """A fresh :class:`ExecutionBudget` for one run, or None."""
+        return make_execution_budget(
+            self.execution_budget_seconds, self.execution_budget_steps
+        )
 
     @classmethod
     def variant(cls, name: str) -> "PipelineOptions":
@@ -230,6 +252,18 @@ class CompilationSession:
         """
         cached = self._pure_cache.get(source)
         hit = cached is not None
+        if hit:
+            try:
+                fault_hit("cache.frontend")
+            except InjectedFault:
+                # A corrupt cached entry: quarantine it and fall back to a
+                # clean re-parse (counted, never silent).
+                del self._pure_cache[source]
+                cached = None
+                hit = False
+                registry = get_metrics()
+                if registry.enabled:
+                    registry.bump("resilience.recovered.frontend_cache")
         with get_tracer().span("session:frontend", category="session", hit=hit):
             if cached is None:
                 self.misses += 1
@@ -262,6 +296,15 @@ class CompilationSession:
         key = id(source)
         entry = self._bytecode_cache.get(key)
         registry = get_metrics()
+        if entry is not None and entry[0] is source:
+            try:
+                fault_hit("cache.bytecode")
+            except InjectedFault:
+                # Corrupt cached bytecode: drop the row and recompile.
+                del self._bytecode_cache[key]
+                if registry.enabled:
+                    registry.bump("resilience.recovered.bytecode_cache")
+                entry = None
         if entry is not None and entry[0] is source:
             self.bytecode_hits += 1
             if registry.enabled:
@@ -307,6 +350,18 @@ class CompilationSession:
         while len(self._rgn_opt_cache) >= self.RGN_OPT_CACHE_LIMIT:
             self._rgn_opt_cache.pop(next(iter(self._rgn_opt_cache)))
         self._rgn_opt_cache[key] = func
+
+    def rgn_opt_quarantine(self, key: tuple) -> None:
+        """Evict a corrupt/divergent cached function (clean recompile next).
+
+        Counted as ``resilience.quarantine.incremental`` — the degradation
+        ladder of the incremental rgn-opt cache (see
+        :mod:`repro.backend.incremental`).
+        """
+        self._rgn_opt_cache.pop(key, None)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.bump("resilience.quarantine.incremental")
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -434,11 +489,17 @@ def rgn_pipeline_spec(options: PipelineOptions) -> str:
 
 def build_spec_pipeline(spec: str, options: PipelineOptions) -> PassManager:
     """Build the pipeline of ``spec`` under the knobs of ``options``."""
+    crash_handler = (
+        CrashBundleWriter(options.crash_bundle_dir)
+        if options.crash_bundle_dir is not None
+        else None
+    )
     return build_pipeline(
         spec,
         verify_each=options.verify_each,
         verbose=options.verbose_passes,
         instrumentations=pass_instrumentations(options),
+        crash_handler=crash_handler,
     )
 
 
@@ -475,12 +536,23 @@ class BaselineCompiler:
         rc_mode: str = "naive",
         session: Optional[CompilationSession] = None,
         execution_engine: str = "vm",
+        enable_fallbacks: bool = True,
+        execution_budget_seconds: Optional[float] = None,
+        execution_budget_steps: Optional[int] = None,
     ):
         _check_execution_engine(execution_engine)
         self.enable_simplifier = enable_simplifier
         self.rc_mode = rc_mode
         self.session = session
         self.execution_engine = execution_engine
+        self.enable_fallbacks = enable_fallbacks
+        self.execution_budget_seconds = execution_budget_seconds
+        self.execution_budget_steps = execution_budget_steps
+
+    def _execution_budget(self) -> Optional[ExecutionBudget]:
+        return make_execution_budget(
+            self.execution_budget_seconds, self.execution_budget_steps
+        )
 
     def compile(self, source: str) -> CompilationArtifacts:
         phases = PhaseTimer()
@@ -518,15 +590,36 @@ class BaselineCompiler:
         return self.execute(artifacts.rc_program, check_heap=check_heap)
 
     def execute(self, rc_program: PureProgram, *, check_heap: bool = True) -> RunResult:
-        """Execute a compiled λrc program with the configured engine."""
+        """Execute a compiled λrc program with the configured engine.
+
+        A VM-side fault (injected ``vm.dispatch`` or a bytecode bug) falls
+        back to the λrc tree-walker — the differential oracle, so figure
+        output and metrics are byte-identical — counted as
+        ``resilience.fallback.vm_to_tree``.  Budget trips are *not* a VM
+        fault and propagate: the tree-walker would only hang longer.
+        """
         if self.execution_engine == "tree":
-            return RcInterpreter(rc_program).run_main(check_heap=check_heap)
+            return RcInterpreter(
+                rc_program, budget=self._execution_budget()
+            ).run_main(check_heap=check_heap)
         bytecode = (
             self.session.rc_bytecode_for(rc_program)
             if self.session is not None
             else compile_rc_program(rc_program)
         )
-        return VirtualMachine(bytecode).run_main(check_heap=check_heap)
+        try:
+            return VirtualMachine(
+                bytecode, budget=self._execution_budget()
+            ).run_main(check_heap=check_heap)
+        except (InjectedFault, BytecodeError):
+            if not self.enable_fallbacks:
+                raise
+            registry = get_metrics()
+            if registry.enabled:
+                registry.bump("resilience.fallback.vm_to_tree")
+            return RcInterpreter(
+                rc_program, budget=self._execution_budget()
+            ).run_main(check_heap=check_heap)
 
 
 class MlirCompiler:
@@ -625,21 +718,50 @@ class MlirCompiler:
         return self.execute(artifacts.cfg_module, check_heap=check_heap)
 
     def execute(self, cfg_module: ModuleOp, *, check_heap: bool = True) -> RunResult:
-        """Execute a compiled CFG module with the configured engine."""
-        if self.options.execution_engine == "tree":
-            return CfgInterpreter(cfg_module).run_main(check_heap=check_heap)
+        """Execute a compiled CFG module with the configured engine.
+
+        A VM-side fault (injected ``vm.dispatch`` or a bytecode bug) falls
+        back to the CFG tree-walker — the differential oracle, so figure
+        output and metrics are byte-identical — counted as
+        ``resilience.fallback.vm_to_tree``.  Budget trips are *not* a VM
+        fault and propagate: the tree-walker would only hang longer.
+        """
+        options = self.options
+        if options.execution_engine == "tree":
+            return CfgInterpreter(
+                cfg_module, budget=options.execution_budget()
+            ).run_main(check_heap=check_heap)
         bytecode = (
             self.session.bytecode_for(cfg_module)
             if self.session is not None
             else compile_cfg_module(cfg_module)
         )
-        return VirtualMachine(bytecode).run_main(check_heap=check_heap)
+        try:
+            return VirtualMachine(
+                bytecode, budget=options.execution_budget()
+            ).run_main(check_heap=check_heap)
+        except (InjectedFault, BytecodeError):
+            if not options.enable_fallbacks:
+                raise
+            registry = get_metrics()
+            if registry.enabled:
+                registry.bump("resilience.fallback.vm_to_tree")
+            return CfgInterpreter(
+                cfg_module, budget=options.execution_budget()
+            ).run_main(check_heap=check_heap)
 
 
-def run_reference(source: str, *, session: Optional[CompilationSession] = None):
+def run_reference(
+    source: str,
+    *,
+    session: Optional[CompilationSession] = None,
+    budget_seconds: Optional[float] = None,
+    budget_steps: Optional[int] = None,
+):
     """Run the source through the λpure reference interpreter (golden value)."""
     pure = session.frontend(source) if session is not None else Frontend.to_pure(source)
-    return normalize(ReferenceInterpreter(pure).run_main())
+    budget = make_execution_budget(budget_seconds, budget_steps)
+    return normalize(ReferenceInterpreter(pure, budget=budget).run_main())
 
 
 def run_baseline(
@@ -649,10 +771,16 @@ def run_baseline(
     rc_mode: str = "naive",
     session: Optional[CompilationSession] = None,
     execution_engine: str = "vm",
+    budget_seconds: Optional[float] = None,
+    budget_steps: Optional[int] = None,
 ) -> RunResult:
     """Compile and run via the baseline ("leanc") pipeline."""
     return BaselineCompiler(
-        rc_mode=rc_mode, session=session, execution_engine=execution_engine
+        rc_mode=rc_mode,
+        session=session,
+        execution_engine=execution_engine,
+        execution_budget_seconds=budget_seconds,
+        execution_budget_steps=budget_steps,
     ).run(source, check_heap=check_heap)
 
 

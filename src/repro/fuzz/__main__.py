@@ -29,6 +29,7 @@ from hypothesis import HealthCheck, given, seed as hypothesis_seed, settings
 
 from ..backend.pipeline import CompilationSession
 from ..lean.printer import print_program
+from ..resilience import FaultPlan, fault_plan
 from .corpus import DEFAULT_CORPUS_DIR, save_counterexample
 from .differential import DifferentialFailure, full_matrix, run_matrix, smoke_matrix
 from .generator import typed_programs
@@ -99,7 +100,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--stop-on-failure", action="store_true",
         help="stop at the first counterexample instead of finishing the budget",
     )
+    parser.add_argument(
+        "--inject-fault", metavar="SITE[:N]", action="append", default=[],
+        help="arm deterministic fault injection for the whole run — every "
+        "resulting crash surfaces as a counterexample (repeatable; "
+        "python -m repro.opt --list-fault-sites lists the sites)",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     configs = full_matrix() if args.matrix == "full" else smoke_matrix()
     start = time.monotonic()
@@ -111,7 +124,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"budget exhausted after {counter[0]} examples")
             break
         examples = min(args.batch_size, args.max_examples - counter[0])
-        failure = _run_batch(args.seed + batch_index, examples, configs, counter)
+        with fault_plan(plan):
+            failure = _run_batch(
+                args.seed + batch_index, examples, configs, counter
+            )
         batch_index += 1
         if failure is not None:
             failures.append(failure)

@@ -25,6 +25,13 @@ Any violation (or any crash anywhere in a pipeline) raises
 :class:`DifferentialFailure` carrying the pretty-printed source, so
 hypothesis shrinks the *program*, and the shrunk source is what lands in
 ``tests/corpus/``.
+
+Every execution runs under a per-program step budget
+(:data:`DEFAULT_BUDGET_STEPS`, overridable per call), so a generated
+program that diverges — or an optimisation that breaks termination —
+trips :class:`~repro.resilience.budgets.ExecutionBudgetExceeded` and
+becomes a :class:`DifferentialFailure` finding instead of hanging the
+nightly fuzz run.
 """
 
 from __future__ import annotations
@@ -47,6 +54,13 @@ from ..eval.harness import measurement_options
 REWRITE_ENGINES = ("worklist", "rescan")
 EXECUTION_ENGINES = ("vm", "tree")
 INCREMENTAL_MODES = (False, True)
+
+#: Default per-program execution step budget (calls and branches).  Fuel-
+#: bounded generated programs finish in a few thousand steps; a run that
+#: charges two million of them is diverging and should surface as a
+#: finding, not hang the fuzzer.  Steps (not wall-clock) keep the trip
+#: deterministic across machines and engines.
+DEFAULT_BUDGET_STEPS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -124,13 +138,14 @@ def _metric_fingerprint(result) -> Tuple:
     )
 
 
-def _mlir_options(config: MatrixConfig):
+def _mlir_options(config: MatrixConfig, budget_steps: Optional[int] = None):
     options = measurement_options(
         config.rc_variant,
         rewrite_engine=config.rewrite_engine,
         execution_engine=config.execution_engine,
     )
     options.incremental_rgn_opt = config.incremental
+    options.execution_budget_steps = budget_steps
     return options
 
 
@@ -140,12 +155,17 @@ def run_matrix(
     session: Optional[CompilationSession] = None,
     configs: Optional[Tuple[MatrixConfig, ...]] = None,
     baselines: bool = True,
+    budget_steps: Optional[int] = DEFAULT_BUDGET_STEPS,
 ) -> MatrixReport:
     """Run ``source`` through the configured matrix; raise on any violation.
 
     ``session`` shares frontend work across the whole matrix (and is what
     the incremental configurations exercise); the caller may reuse one
     session across many programs — the cache is content-keyed.
+
+    ``budget_steps`` bounds every execution (reference, baselines and the
+    lp+rgn matrix alike); a trip surfaces as a :class:`DifferentialFailure`
+    naming the configuration.  Pass ``None`` to run unbounded.
     """
     report = MatrixReport(source=source)
     session = session if session is not None else CompilationSession()
@@ -162,7 +182,10 @@ def run_matrix(
             ) from error
 
     report.reference_value = guarded(
-        "reference", lambda: run_reference(source, session=session)
+        "reference",
+        lambda: run_reference(
+            source, session=session, budget_steps=budget_steps
+        ),
     )
 
     if baselines:
@@ -176,6 +199,7 @@ def run_matrix(
                         rc_mode=rc[len("rc-"):],
                         session=session,
                         execution_engine=ee,
+                        budget_steps=budget_steps,
                     ),
                 )
                 _check_run(report, label, result)
@@ -185,7 +209,9 @@ def run_matrix(
         label = config.label
         result = guarded(
             label,
-            lambda c=config: run_mlir(source, _mlir_options(c), session=session),
+            lambda c=config: run_mlir(
+                source, _mlir_options(c, budget_steps), session=session
+            ),
         )
         _check_run(report, label, result)
         fingerprint = _metric_fingerprint(result)

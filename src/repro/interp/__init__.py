@@ -12,6 +12,7 @@ from .bytecode import (
     run_rc_program_vm,
 )
 from .cfg_interp import CfgInterpreter, CfgInterpreterError, run_cfg_module
+from .limits import DEFAULT_RECURSION_LIMIT, recursion_limit
 from .metrics import DEFAULT_COSTS, ExecutionMetrics
 from .rc_interp import RcInterpreter, RunResult, run_rc_program
 from .reference import ReferenceInterpreter, RefClosure, RefCtor, normalize
@@ -29,6 +30,8 @@ __all__ = [
     "CfgInterpreter",
     "CfgInterpreterError",
     "run_cfg_module",
+    "DEFAULT_RECURSION_LIMIT",
+    "recursion_limit",
     "DEFAULT_COSTS",
     "ExecutionMetrics",
     "RcInterpreter",

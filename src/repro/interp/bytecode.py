@@ -35,7 +35,6 @@ survive as differential oracles (``execution_engine="tree"``).
 
 from __future__ import annotations
 
-import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -56,8 +55,11 @@ from ..runtime import (
     python_value,
     tag_of,
 )
+from ..resilience.budgets import ExecutionBudget
+from ..resilience.faults import fault_hit
 from ..telemetry import get_metrics, get_tracer
 from .cfg_interp import CfgInterpreterError
+from .limits import recursion_limit
 from .metrics import DEFAULT_COSTS, ExecutionMetrics
 from .rc_interp import RunResult
 
@@ -634,6 +636,7 @@ class VirtualMachine:
         context: Optional[RuntimeContext] = None,
         metrics: Optional[ExecutionMetrics] = None,
         recursion_limit: int = 200000,
+        budget: Optional[ExecutionBudget] = None,
     ):
         self.program = program
         self.ctx = context if context is not None else RuntimeContext()
@@ -648,8 +651,8 @@ class VirtualMachine:
         #: :meth:`instruction_frequencies`, ``--exec-stats`` and the
         #: ``vm.instr.freq.<op>`` metrics.
         self.opcode_counts: List[int] = [0] * NUM_OPCODES
-        if sys.getrecursionlimit() < recursion_limit:
-            sys.setrecursionlimit(recursion_limit)
+        self.recursion_limit = recursion_limit
+        self.budget = budget
 
     # -- error shaping ----------------------------------------------------
     def _error(self, message: str) -> Exception:
@@ -671,12 +674,14 @@ class VirtualMachine:
                 "point as run_main(main=...)"
             )
         entry = main or self.program.main
+        if self.budget is not None:
+            self.budget.start()
         start = time.perf_counter()
         try:
             with get_tracer().span(
                 "vm:run", category="exec", main=entry,
                 flavor=self.program.flavor,
-            ):
+            ), recursion_limit(self.recursion_limit):
                 result = self.call_function(entry, list(args or []))
         finally:
             # Fold charges into the metrics even when execution faults, so
@@ -757,6 +762,7 @@ class VirtualMachine:
 
     # -- the interpreter loop ---------------------------------------------
     def _exec(self, fn: BytecodeFunction, args: List[object]) -> object:
+        fault_hit("vm.dispatch")
         if len(args) != fn.num_params:
             raise self._error(
                 f"calling {fn.name} with {len(args)} arguments, "
@@ -768,6 +774,9 @@ class VirtualMachine:
         counts = self._counts
         freq = self.opcode_counts
         heap = self.ctx.heap
+        budget = self.budget
+        if budget is not None:
+            budget.charge()
         pc = 0
         while True:
             ins = code[pc]
@@ -781,6 +790,8 @@ class VirtualMachine:
                 regs[ins[1]] = ins[2](regs[ins[3]], regs[ins[4]])
             elif opcode == OP_JMP:
                 counts["jump"] += 1
+                if budget is not None:
+                    budget.charge()
                 srcs = ins[2]
                 if srcs:
                     values = [regs[s] for s in srcs]
@@ -790,6 +801,8 @@ class VirtualMachine:
                 continue
             elif opcode == OP_CONDBR:
                 counts["branch"] += 1
+                if budget is not None:
+                    budget.charge()
                 if regs[ins[1]]:
                     target, srcs, dsts = ins[2], ins[3], ins[4]
                 else:
@@ -808,10 +821,14 @@ class VirtualMachine:
                 target = ins[2].get(tag, ins[3])
                 if target is None:
                     raise self._error(f"no alternative for tag {tag} in case")
+                if budget is not None:
+                    budget.charge()
                 pc = target
                 continue
             elif opcode == OP_SWITCH:
                 counts["branch"] += 1
+                if budget is not None:
+                    budget.charge()
                 pc = ins[2].get(regs[ins[1]], ins[3])
                 continue
             elif opcode == OP_CALL:

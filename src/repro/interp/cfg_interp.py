@@ -14,9 +14,11 @@ values (``!lp.t``).
 
 from __future__ import annotations
 
-import sys
 import time
 from typing import Dict, List, Optional
+
+from ..resilience.budgets import ExecutionBudget
+from .limits import recursion_limit
 
 from ..dialects import arith, cf, lp
 from ..dialects.builtin import ModuleOp
@@ -53,6 +55,7 @@ class CfgInterpreter:
         context: Optional[RuntimeContext] = None,
         metrics: Optional[ExecutionMetrics] = None,
         recursion_limit: int = 200000,
+        budget: Optional[ExecutionBudget] = None,
     ):
         self.module = module
         self.ctx = context if context is not None else RuntimeContext()
@@ -65,8 +68,8 @@ class CfgInterpreter:
         #: built on first execution of each switch.  The tree-walker is the
         #: bytecode VM's differential oracle, so its hot paths still matter.
         self._switch_tables: Dict[Operation, Dict[int, Block]] = {}
-        if sys.getrecursionlimit() < recursion_limit:
-            sys.setrecursionlimit(recursion_limit)
+        self.recursion_limit = recursion_limit
+        self.budget = budget
 
     # -- public API --------------------------------------------------------------
     def run_main(
@@ -76,8 +79,11 @@ class CfgInterpreter:
         *,
         check_heap: bool = True,
     ) -> RunResult:
+        if self.budget is not None:
+            self.budget.start()
         start = time.perf_counter()
-        result = self.call_function(main, list(args or []))
+        with recursion_limit(self.recursion_limit):
+            result = self.call_function(main, list(args or []))
         self.metrics.wall_time_seconds = time.perf_counter() - start
         snapshot = python_value(result) if result is not None else None
         if result is not None:
@@ -129,7 +135,10 @@ class CfgInterpreter:
             )
         env: Dict[Value, object] = dict(zip(entry.arguments, args))
         block: Block = entry
+        budget = self.budget
         while True:
+            if budget is not None:
+                budget.charge()
             outcome = self._execute_block(block, env)
             kind = outcome[0]
             if kind == "return":

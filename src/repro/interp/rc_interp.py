@@ -12,10 +12,12 @@ exactly this interpreter.
 
 from __future__ import annotations
 
-import sys
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from ..resilience.budgets import ExecutionBudget
+from .limits import recursion_limit
 
 from ..lambda_pure.ir import (
     App,
@@ -76,17 +78,21 @@ class RcInterpreter:
         context: Optional[RuntimeContext] = None,
         metrics: Optional[ExecutionMetrics] = None,
         recursion_limit: int = 200000,
+        budget: Optional[ExecutionBudget] = None,
     ):
         self.program = program
         self.ctx = context if context is not None else RuntimeContext()
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
-        if sys.getrecursionlimit() < recursion_limit:
-            sys.setrecursionlimit(recursion_limit)
+        self.recursion_limit = recursion_limit
+        self.budget = budget
 
     # -- public API ------------------------------------------------------------
     def run_main(self, args: Optional[List[Value]] = None, *, check_heap: bool = True) -> RunResult:
+        if self.budget is not None:
+            self.budget.start()
         start = time.perf_counter()
-        result = self.call(self.program.main, list(args or []))
+        with recursion_limit(self.recursion_limit):
+            result = self.call(self.program.main, list(args or []))
         self.metrics.wall_time_seconds = time.perf_counter() - start
         snapshot = python_value(result)
         # The driver owns the returned value; release it and check balance.
@@ -116,6 +122,8 @@ class RcInterpreter:
                 f"calling {fn_name} with {len(args)} arguments, expected {fn.arity}"
             )
         self.metrics.charge("call")
+        if self.budget is not None:
+            self.budget.charge()
         env: Dict[str, Value] = dict(zip(fn.params, args))
         return self._eval_body(fn.body, env, {})
 
@@ -233,6 +241,8 @@ class RcInterpreter:
                 continue
             if isinstance(body, Jmp):
                 self.metrics.charge("jump")
+                if self.budget is not None:
+                    self.budget.charge()
                 params, jbody, jenv, jjoins = joins[body.label]
                 arg_values = [env[a] for a in body.args]
                 env = dict(jenv)

@@ -9,9 +9,11 @@ baseline λrc interpreter and the full lp+rgn pipeline.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from ..resilience.budgets import ExecutionBudget
+from .limits import recursion_limit
 
 from ..lambda_pure.ir import (
     App,
@@ -113,14 +115,23 @@ _PURE_COMPARISONS = {
 class ReferenceInterpreter:
     """Evaluates a λpure program with pure Python values."""
 
-    def __init__(self, program: Program, *, recursion_limit: int = 200000):
+    def __init__(
+        self,
+        program: Program,
+        *,
+        recursion_limit: int = 200000,
+        budget: Optional[ExecutionBudget] = None,
+    ):
         self.program = program
-        if sys.getrecursionlimit() < recursion_limit:
-            sys.setrecursionlimit(recursion_limit)
+        self.recursion_limit = recursion_limit
+        self.budget = budget
 
     # -- function calls ----------------------------------------------------------
     def run_main(self, args: Optional[List] = None):
-        return self.call(self.program.main, list(args or []))
+        if self.budget is not None:
+            self.budget.start()
+        with recursion_limit(self.recursion_limit):
+            return self.call(self.program.main, list(args or []))
 
     def call(self, fn_name: str, args: List):
         if fn_name in _PURE_BUILTINS or fn_name in _PURE_COMPARISONS:
@@ -134,6 +145,8 @@ class ReferenceInterpreter:
             raise ReferenceError_(
                 f"calling {fn_name} with {len(args)} args, expected {fn.arity}"
             )
+        if self.budget is not None:
+            self.budget.charge()
         env = dict(zip(fn.params, args))
         return self._eval_body(fn.body, env, {})
 
@@ -248,6 +261,8 @@ class ReferenceInterpreter:
                 body = body.rest
                 continue
             if isinstance(body, Jmp):
+                if self.budget is not None:
+                    self.budget.charge()
                 if body.label not in joins:
                     raise ReferenceError_(f"jump to unknown join point {body.label}")
                 params, jbody, jenv, jjoins = joins[body.label]

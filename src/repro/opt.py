@@ -10,6 +10,16 @@ and the pipeline-debugging workflow are built on.  Usage::
     python -m repro.opt --show-pipeline file.mlir        # spec + fingerprint
     python -m repro.opt --verify-roundtrip file.mlir     # parse(print(m)) check
     python -m repro.opt file.mlir --print-ir-after cse --metrics-json m.json
+    python -m repro.opt file.mlir --inject-fault pass.cse:1
+    python -m repro.opt --pipeline-from-bundle crash-0123456789ab
+
+Resilience (see ``docs/RESILIENCE.md``): a pass failure writes a crash
+reproducer bundle into ``--crash-dir`` (the pre-pass IR, the remaining
+pipeline spec, and the re-based fault plan) and prints its path;
+``--pipeline-from-bundle`` replays such a bundle byte-identically —
+input, pipeline and fault plan all come from the bundle.
+``--inject-fault site:N`` arms deterministic fault injection
+(``--list-fault-sites`` prints the site catalogue).
 
 The input is generic-form IR as printed by :mod:`repro.ir.printer` (get
 some via ``python -m repro program.lean --emit rgn``); the result prints
@@ -39,6 +49,13 @@ from .backend.pipeline import PipelineOptions, rgn_pipeline_spec
 from .ir.parser import ParseError, parse_module
 from .ir.printer import print_module
 from .ir.verifier import VerificationError, verify
+from .resilience import (
+    CrashBundleWriter,
+    FaultPlan,
+    fault_plan,
+    known_sites,
+    load_bundle,
+)
 from .rewrite.registry import (
     PipelineSpecError,
     build_pipeline,
@@ -64,6 +81,13 @@ def _read_input(path: str) -> str:
 def default_pipeline_spec() -> str:
     """The compiler's rgn optimisation spec under default options."""
     return rgn_pipeline_spec(PipelineOptions())
+
+
+def _report_crash_bundle(error: BaseException) -> None:
+    """Print the bundle path a pass-manager crash handler attached."""
+    path = getattr(error, "crash_bundle", None)
+    if path:
+        print(f"crash bundle: {path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -123,13 +147,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--print-ir-after-all", action="store_true",
         help="print the module's IR after every pass",
     )
+    parser.add_argument(
+        "--inject-fault", metavar="SITE[:N]", action="append", default=[],
+        help="raise a deterministic fault at the N-th hit of SITE "
+        "(repeatable; see --list-fault-sites)",
+    )
+    parser.add_argument(
+        "--list-fault-sites", action="store_true",
+        help="list every fault-injection site and exit",
+    )
+    parser.add_argument(
+        "--crash-dir", metavar="DIR", default=".",
+        help="directory crash reproducer bundles are written into "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--pipeline-from-bundle", metavar="DIR", default=None,
+        help="replay a crash bundle: input IR, pipeline spec, verify-each "
+        "setting and fault plan are all read from the bundle directory",
+    )
     args = parser.parse_args(argv)
 
     if args.list_passes:
         print(describe_registered_passes())
         return 0
 
-    spec = args.pipeline if args.pipeline is not None else default_pipeline_spec()
+    if args.list_fault_sites:
+        for site, description in sorted(known_sites().items()):
+            print(f"{site:24s} {description}")
+        return 0
+
+    bundle = None
+    fault_specs = list(args.inject_fault)
+    if args.pipeline_from_bundle is not None:
+        if args.file is not None or args.pipeline is not None:
+            parser.error(
+                "--pipeline-from-bundle replaces both the input file and "
+                "--pipeline"
+            )
+        try:
+            bundle = load_bundle(args.pipeline_from_bundle)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load bundle: {error}", file=sys.stderr)
+            return 2
+        spec = bundle.pipeline_spec
+        # The bundle's faults replay first; extra --inject-fault specs stack.
+        fault_specs = list(bundle.faults) + fault_specs
+    else:
+        spec = (
+            args.pipeline if args.pipeline is not None
+            else default_pipeline_spec()
+        )
+
+    try:
+        plan = FaultPlan.parse(fault_specs) if fault_specs else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.show_pipeline:
         try:
@@ -141,7 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"fingerprint: {pipeline_fingerprint(spec)}")
         return 0
 
-    if args.file is None:
+    if args.file is None and bundle is None:
         parser.error("an input file is required (use '-' for stdin)")
 
     instrumentations = []
@@ -152,22 +226,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print_after_all=args.print_ir_after_all,
             )
         )
+    verify_each = (
+        bundle.verify_each if bundle is not None else True
+    ) and not args.no_verify_each
     try:
         pipeline = build_pipeline(
             spec,
-            verify_each=not args.no_verify_each,
+            verify_each=verify_each,
             verbose=args.verbose,
             instrumentations=instrumentations,
+            crash_handler=CrashBundleWriter(args.crash_dir),
         )
     except PipelineSpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    try:
-        text = _read_input(args.file)
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    if bundle is not None:
+        text = bundle.input_ir
+    else:
+        try:
+            text = _read_input(args.file)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     telemetry_on = bool(args.trace_out or args.metrics_json)
     tracer = Tracer() if telemetry_on else None
@@ -180,11 +261,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         with scope:
             try:
-                module = parse_module(text)
-                verify(module)
-                pipeline.run(module)
+                with fault_plan(plan):
+                    module = parse_module(text)
+                    verify(module)
+                    pipeline.run(module)
             except (ParseError, VerificationError) as error:
                 print(f"error: {error}", file=sys.stderr)
+                _report_crash_bundle(error)
+                return 1
+            except Exception as error:  # pass crash / injected fault / budget
+                name = type(error).__name__
+                print(f"error: {name}: {error}", file=sys.stderr)
+                _report_crash_bundle(error)
                 return 1
             result = print_module(module)
     finally:

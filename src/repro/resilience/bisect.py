@@ -1,0 +1,101 @@
+"""Pass-level bisection of crash reproducer bundles.
+
+:func:`bisect_bundle` replays a bundle one pass at a time: parse the
+bundle's pre-failure IR, re-arm its recorded fault plan, then run each
+pipeline-spec invocation through its own single-pass
+:class:`~repro.rewrite.pass_manager.PassManager` — the exact sequence of
+pass entries, pattern applications and verifier runs the monolithic
+replay performs, so injected faults fire at identical points.  The first
+invocation that fails is the faulty pass; for a
+:class:`~repro.rewrite.driver.PatternRewritePass` the rewrite driver
+blames the applied pattern on the exception (``failing_pattern``), giving
+pattern-level resolution.
+
+The result is appended to the bundle:
+
+* ``minimal.mlir`` — the IR immediately before the faulty pass,
+* ``minimal-pipeline.txt`` — that single pass's canonical spec,
+* a ``bisect`` section in ``bundle.json`` with the faulty pass, the
+  blamed pattern (when any) and the fault specs re-based so the one-pass
+  reproducer still fires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..telemetry import get_metrics
+from .bundle import (
+    BUNDLE_JSON,
+    MINIMAL_IR,
+    MINIMAL_PIPELINE_TXT,
+    load_bundle,
+)
+from .faults import FaultPlan, fault_plan
+
+
+def bisect_bundle(path: Union[str, Path]) -> Dict[str, Optional[str]]:
+    """Isolate the first faulty pass of a crash bundle.
+
+    Returns the ``bisect`` record (also written into ``bundle.json``):
+    ``failing_pass`` (registered name), ``failing_spec`` (that pass's
+    canonical one-pass spec), ``failing_pattern`` (pattern class name for
+    pattern-driver passes, else None) and ``faults`` (re-based ``site:N``
+    specs for the one-pass reproducer).  ``failing_pass`` is None when no
+    pass fails under replay — a non-deterministic or environmental crash,
+    recorded as such.
+    """
+    # Imported lazily: the pass manager imports the fault-injection sites
+    # from this package, so a module-level registry import here would cycle.
+    from ..ir.parser import parse_module
+    from ..ir.printer import print_module
+    from ..rewrite.registry import build_pipeline, resolve_pipeline
+
+    bundle_dir = Path(path)
+    bundle = load_bundle(bundle_dir)
+    module = parse_module(bundle.input_ir)
+    plan = FaultPlan.parse(bundle.faults) if bundle.faults else None
+
+    record: Dict[str, Optional[str]] = {
+        "failing_pass": None,
+        "failing_spec": None,
+        "failing_pattern": None,
+        "faults": [],
+    }
+    with fault_plan(plan):
+        for registered, invocation in resolve_pipeline(bundle.pipeline_spec):
+            pre_ir = print_module(module)
+            hits = plan.snapshot_hits() if plan is not None else {}
+            manager = build_pipeline(
+                invocation.spec(), verify_each=bundle.verify_each
+            )
+            try:
+                manager.run(module)
+            except Exception as error:
+                record["failing_pass"] = registered.name
+                record["failing_spec"] = invocation.spec()
+                record["failing_pattern"] = getattr(
+                    error, "failing_pattern", None
+                )
+                record["faults"] = (
+                    plan.remaining_specs(hits) if plan is not None else []
+                )
+                (bundle_dir / MINIMAL_IR).write_text(pre_ir, encoding="utf-8")
+                (bundle_dir / MINIMAL_PIPELINE_TXT).write_text(
+                    invocation.spec() + "\n", encoding="utf-8"
+                )
+                break
+
+    manifest_path = bundle_dir / BUNDLE_JSON
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["bisect"] = record
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    registry = get_metrics()
+    if registry.enabled:
+        registry.bump("resilience.bisect.runs")
+    return record

@@ -24,10 +24,14 @@ Two engines implement the fixpoint:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..ir.core import Operation
+from ..resilience.budgets import RewriteBudgetExceeded
+from ..resilience.faults import InjectedFault, fault_hit
+from ..telemetry import get_metrics
 from .pass_manager import FunctionPass
 from .pattern import PatternRewriter, RewritePattern
 from .registry import PassOption
@@ -174,6 +178,8 @@ def apply_patterns_greedily(
     max_rewrites: Optional[int] = None,
     engine: str = "worklist",
     strict: bool = False,
+    max_seconds: Optional[float] = None,
+    fault_site: Optional[str] = None,
 ) -> GreedyRewriteResult:
     """Apply ``patterns`` to every op under ``root`` until fixpoint.
 
@@ -183,14 +189,28 @@ def apply_patterns_greedily(
     bounds full sweeps for the rescan engine.  Under ``strict=True`` hitting
     either budget raises :class:`NonConvergenceError` instead of returning
     with ``converged=False`` (which historically no caller checked).
+
+    ``max_seconds`` is a wall-clock budget on the whole invocation — a
+    fixpoint still in flight past the deadline raises
+    :class:`~repro.resilience.budgets.RewriteBudgetExceeded`.
+    ``fault_site`` names the fault-injection site hit once per successful
+    pattern application (the pattern-driver passes pass their
+    ``pass.<name>`` site, giving pattern-granular injection; the raised
+    :class:`~repro.resilience.faults.InjectedFault` blames the applied
+    pattern).
     """
     pattern_set = (
         patterns if isinstance(patterns, PatternSet) else PatternSet(patterns)
     )
+    deadline = time.monotonic() + max_seconds if max_seconds is not None else None
     if engine == "worklist":
-        result = _apply_worklist(root, pattern_set, max_iterations, max_rewrites)
+        result = _apply_worklist(
+            root, pattern_set, max_iterations, max_rewrites, deadline, fault_site
+        )
     elif engine == "rescan":
-        result = _apply_rescan(root, pattern_set, max_iterations, max_rewrites)
+        result = _apply_rescan(
+            root, pattern_set, max_iterations, max_rewrites, deadline, fault_site
+        )
     else:
         raise ValueError(f"unknown rewrite engine {engine!r} (expected {ENGINES})")
     if strict and not result.converged:
@@ -202,6 +222,30 @@ def apply_patterns_greedily(
     return result
 
 
+def _check_rewrite_deadline(
+    deadline: Optional[float], result: GreedyRewriteResult, engine: str
+) -> None:
+    """Trip the wall-clock rewrite budget (cheap no-op without a deadline)."""
+    if deadline is None or time.monotonic() <= deadline:
+        return
+    registry = get_metrics()
+    if registry.enabled:
+        registry.bump("resilience.budget.trips")
+    raise RewriteBudgetExceeded(
+        f"rewrite budget exceeded after {result.applications} applications "
+        f"({result.match_attempts} match attempts, engine={engine!r})"
+    )
+
+
+def _blame_pattern(error: BaseException, pattern: RewritePattern) -> None:
+    """Tag ``error`` with the pattern it escaped from (for bisection)."""
+    if getattr(error, "failing_pattern", None) is None:
+        try:
+            error.failing_pattern = type(pattern).__name__
+        except Exception:
+            pass  # exceptions with __slots__ cannot carry the tag
+
+
 # -- the worklist engine ----------------------------------------------------------
 
 
@@ -210,7 +254,10 @@ def _apply_worklist(
     pattern_set: PatternSet,
     max_iterations: int,
     max_rewrites: Optional[int],
+    deadline: Optional[float] = None,
+    fault_site: Optional[str] = None,
 ) -> GreedyRewriteResult:
+    fault_hit("driver.worklist")
     result = GreedyRewriteResult(iterations=1)
     worklist = Worklist()
     seed = [op for op in root.walk_postorder() if op is not root]
@@ -228,10 +275,20 @@ def _apply_worklist(
             continue  # erased (or detached) since it was queued
         for pattern in pattern_set.candidates(op, result):
             result.match_attempts += 1
+            if not (result.match_attempts & 255):
+                _check_rewrite_deadline(deadline, result, "worklist")
             rewriter = PatternRewriter(op)
-            if not pattern.match_and_rewrite(op, rewriter):
+            try:
+                matched = pattern.match_and_rewrite(op, rewriter)
+            except Exception as error:
+                _blame_pattern(error, pattern)
+                raise
+            if not matched:
                 continue
             result.record(pattern)
+            if fault_site is not None:
+                fault_hit(fault_site, pattern=type(pattern).__name__)
+            _check_rewrite_deadline(deadline, result, "worklist")
             for touched in rewriter.touched:
                 if not touched.attached:
                     continue
@@ -303,6 +360,8 @@ def _apply_rescan(
     pattern_set: PatternSet,
     max_iterations: int,
     max_rewrites: Optional[int],
+    deadline: Optional[float] = None,
+    fault_site: Optional[str] = None,
 ) -> GreedyRewriteResult:
     result = GreedyRewriteResult()
     if max_rewrites is None:
@@ -323,9 +382,19 @@ def _apply_rescan(
                 continue
             for pattern in pattern_set.candidates(op, result):
                 result.match_attempts += 1
+                if not (result.match_attempts & 255):
+                    _check_rewrite_deadline(deadline, result, "rescan")
                 rewriter = _SeedPatternRewriter(op)
-                if pattern.match_and_rewrite(op, rewriter):
+                try:
+                    matched = pattern.match_and_rewrite(op, rewriter)
+                except Exception as error:
+                    _blame_pattern(error, pattern)
+                    raise
+                if matched:
                     result.record(pattern)
+                    if fault_site is not None:
+                        fault_hit(fault_site, pattern=type(pattern).__name__)
+                    _check_rewrite_deadline(deadline, result, "rescan")
                     changed_this_iteration = True
                     # Faithful to the seed driver: duplicates are appended,
                     # so one op can be re-matched many times per iteration.
@@ -356,10 +425,25 @@ class PatternRewritePass(FunctionPass):
     applies them per function with the configured engine, and surfaces the
     driver statistics (applications, match attempts, worklist pushes)
     through the pass-manager counters.
+
+    Degradation ladder (see ``docs/RESILIENCE.md``): when the worklist
+    engine fails to converge — including a tripped
+    :class:`~repro.resilience.budgets.RewriteBudgetExceeded` wall-clock
+    budget or an injected ``driver.worklist`` fault — the pass retries the
+    function once with the rescan engine (counted as
+    ``resilience.retry.rescan``) before letting the failure propagate to
+    the pass manager's crash-bundle path.  ``pass.<name>`` faults are
+    *not* retried: they model the pass itself being broken.
     """
 
     #: Rewrite engine used by this pass; overridable per instance.
     engine: str = "worklist"
+
+    #: Wall-clock budget per driver invocation (None = unbounded).
+    budget_seconds: Optional[float] = None
+
+    #: Retry a failed worklist fixpoint once with the rescan engine.
+    allow_rescan_retry: bool = True
 
     SPEC_OPTIONS = (ENGINE_OPTION,)
 
@@ -389,12 +473,34 @@ class PatternRewritePass(FunctionPass):
         return self._pattern_set
 
     def apply(self, func) -> GreedyRewriteResult:
-        result = apply_patterns_greedily(
-            func,
-            self.pattern_set,
-            engine=self.engine,
-            strict=self.strict_convergence,
-        )
+        try:
+            result = apply_patterns_greedily(
+                func,
+                self.pattern_set,
+                engine=self.engine,
+                strict=self.strict_convergence,
+                max_seconds=self.budget_seconds,
+                fault_site=f"pass.{self.name}",
+            )
+        except (NonConvergenceError, RewriteBudgetExceeded, InjectedFault) as error:
+            # Injected pass.<name> faults model the pass being broken and
+            # must reach the pass manager's crash-bundle path unretried.
+            if isinstance(error, InjectedFault) and error.site != "driver.worklist":
+                raise
+            if self.engine != "worklist" or not self.allow_rescan_retry:
+                raise
+            registry = get_metrics()
+            if registry.enabled:
+                registry.bump("resilience.retry.rescan")
+            self.statistics.bump_meter("rescan-retries")
+            result = apply_patterns_greedily(
+                func,
+                self.pattern_set,
+                engine="rescan",
+                strict=self.strict_convergence,
+                max_seconds=self.budget_seconds,
+                fault_site=f"pass.{self.name}",
+            )
         self.statistics.bump("applications", result.applications)
         self.statistics.bump_meter("match-attempts", result.match_attempts)
         self.statistics.bump_meter("worklist-pushes", result.worklist_pushes)

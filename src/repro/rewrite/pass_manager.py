@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ir.core import Operation
 from ..ir.verifier import verify
+from ..resilience.faults import active_plan, fault_hit
 from ..telemetry import (
     PassInstrumentation,
     get_metrics,
@@ -83,6 +84,12 @@ class Pass:
     #: :class:`~repro.rewrite.registry.PassOption` (empty for most passes).
     SPEC_OPTIONS: tuple = ()
 
+    #: Canonical one-pass pipeline spec (``name{options}``) this instance
+    #: was built from.  :func:`~repro.rewrite.registry.build_passes` fills
+    #: it in; hand-constructed passes fall back to ``name`` — crash bundles
+    #: use it to record a replayable remaining pipeline.
+    spec: Optional[str] = None
+
     def __init__(self):
         self.statistics = PassStatistics()
 
@@ -119,7 +126,18 @@ class FunctionPass(Pass):
 
 
 class PassManager:
-    """Runs a sequence of passes over a module."""
+    """Runs a sequence of passes over a module.
+
+    With a ``crash_handler`` (a
+    :class:`~repro.resilience.bundle.CrashBundleWriter` or anything with
+    its ``on_crash`` signature), a pass raise or a ``verify_each``
+    rejection writes a crash reproducer bundle — the textual IR as it
+    stood before the failing pass, the remaining pipeline spec, and the
+    active fault plan re-based to that point — before the exception
+    propagates (tagged with ``error.crash_bundle``).  Snapshotting the IR
+    per pass costs a print, so handlers are attached on the failure-path
+    pipelines (the CLIs, the fuzzers), not the benchmark loops.
+    """
 
     def __init__(
         self,
@@ -128,6 +146,7 @@ class PassManager:
         verify_each: bool = True,
         verbose: bool = False,
         instrumentations: Optional[Sequence[PassInstrumentation]] = None,
+        crash_handler=None,
     ):
         self.passes: List[Pass] = list(passes or [])
         self.verify_each = verify_each
@@ -141,6 +160,8 @@ class PassManager:
         self.instrumentations: List[PassInstrumentation] = list(
             instrumentations or []
         )
+        #: Crash-bundle writer invoked when a pass fails (None = disabled).
+        self.crash_handler = crash_handler
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -154,20 +175,64 @@ class PassManager:
         for instr in self.instrumentations:
             instr.run_after_pass_failed(pass_, module, error)
 
+    def _handle_crash(
+        self,
+        index: int,
+        pre_pass_ir: Optional[str],
+        hits_baseline: Dict[str, int],
+        error: Exception,
+    ) -> None:
+        """Write a crash bundle for a failure in pass ``index`` (guarded)."""
+        if self.crash_handler is None or pre_pass_ir is None:
+            return
+        remaining = ",".join(
+            p.spec or p.name for p in self.passes[index:]
+        )
+        plan = active_plan()
+        fault_specs = (
+            plan.remaining_specs(hits_baseline) if plan is not None else []
+        )
+        try:
+            path = self.crash_handler.on_crash(
+                pre_pass_ir=pre_pass_ir,
+                remaining_spec=remaining,
+                failing_pass=self.passes[index].name,
+                error=error,
+                fault_specs=fault_specs,
+                verify_each=self.verify_each,
+            )
+        except Exception:
+            return  # bundle writing must never mask the original failure
+        try:
+            error.crash_bundle = str(path)
+        except Exception:
+            pass
+
     def run(self, module: Operation) -> Operation:
         tracer = get_tracer()
         registry = get_metrics()
-        for pass_ in self.passes:
+        for index, pass_ in enumerate(self.passes):
             pass_.strict_convergence = self.verify_each
             before = dict(pass_.statistics.counters)
+            pre_pass_ir: Optional[str] = None
+            hits_baseline: Dict[str, int] = {}
+            if self.crash_handler is not None:
+                from ..ir.printer import print_module
+
+                pre_pass_ir = print_module(module)
+                plan = active_plan()
+                if plan is not None:
+                    hits_baseline = plan.snapshot_hits()
             for instr in self.instrumentations:
                 instr.run_before_pass(pass_, module)
             start = time.perf_counter()
             try:
                 with tracer.span("pass:" + pass_.name, category="pass"):
+                    fault_hit("pass." + pass_.name)
                     pass_.run(module)
             except Exception as error:
                 self._notify_failed(pass_, module, error)
+                self._handle_crash(index, pre_pass_ir, hits_baseline, error)
                 raise
             elapsed = time.perf_counter() - start
             # Merge this run's counter *delta* into the per-name statistics.
@@ -197,9 +262,11 @@ class PassManager:
             if self.verify_each:
                 try:
                     with tracer.span("verify:" + pass_.name, category="verify"):
+                        fault_hit("verify")
                         verify(module)
                 except Exception as error:
                     self._notify_failed(pass_, module, error)
+                    self._handle_crash(index, pre_pass_ir, hits_baseline, error)
                     raise
             for instr in self.instrumentations:
                 instr.run_after_pass(pass_, module)

@@ -256,8 +256,8 @@ def build_passes(spec: str) -> List[Pass]:
     passes = []
     for registered, invocation in resolve_pipeline(spec):
         try:
-            passes.append(
-                registered.pass_class.from_spec_options(invocation.options)
+            instance = registered.pass_class.from_spec_options(
+                invocation.options
             )
         except PipelineSpecError:
             raise
@@ -265,6 +265,10 @@ def build_passes(spec: str) -> List[Pass]:
             raise PipelineSpecError(
                 f"pass {registered.name!r}: {error}"
             ) from error
+        # Remember the canonical one-pass spec so crash bundles can record
+        # a replayable remaining pipeline (options included).
+        instance.spec = invocation.spec()
+        passes.append(instance)
     return passes
 
 
@@ -274,6 +278,7 @@ def build_pipeline(
     verify_each: bool = True,
     verbose: bool = False,
     instrumentations: Optional[Sequence] = None,
+    crash_handler=None,
 ) -> PassManager:
     """Build a :class:`PassManager` from a textual pipeline spec."""
     return PassManager(
@@ -281,6 +286,7 @@ def build_pipeline(
         verify_each=verify_each,
         verbose=verbose,
         instrumentations=instrumentations,
+        crash_handler=crash_handler,
     )
 
 

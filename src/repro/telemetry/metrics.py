@@ -12,7 +12,10 @@ Every stat surface of the compiler publishes into one namespaced
   hits and misses,
 * ``vm.instr.freq.<op>`` — the VM's dynamic instruction frequencies, plus
   ``vm.run.seconds``,
-* ``harness.*`` — evaluation-harness bookkeeping.
+* ``harness.*`` — evaluation-harness bookkeeping,
+* ``resilience.*`` — failure-path accounting: injected faults, budget
+  trips, crash bundles written, and every graceful-degradation recovery
+  (VM→tree fallback, rescan retry, cache quarantine).
 
 The registry stores integer counters (:meth:`bump`) and float gauges
 (:meth:`observe`, accumulating — repeated observations of a timing add
@@ -32,7 +35,7 @@ Number = Union[int, float]
 #: Every valid top-level metric namespace.  ``docs/OBSERVABILITY.md``
 #: documents each one; ``tests/test_telemetry.py`` drift-tests the two
 #: against each other and against a real compile's snapshot.
-NAMESPACES = ("harness", "pipeline", "rewrite", "session", "vm")
+NAMESPACES = ("harness", "pipeline", "resilience", "rewrite", "session", "vm")
 
 _COMPONENT_SANITIZER = re.compile(r"[^A-Za-z0-9_]")
 

@@ -605,7 +605,8 @@ class TestCliTelemetry:
         bad = tmp_path / "bad.lean"
         bad.write_text("def main : Nat := undefined_name\n", encoding="utf-8")
         trace_path = tmp_path / "trace.json"
-        assert main([str(bad), "--trace-out", str(trace_path)]) == 1
+        # Exit 3: the frontend layer rejected the program (docs/RESILIENCE.md).
+        assert main([str(bad), "--trace-out", str(trace_path)]) == 3
         capsys.readouterr()
         trace = json.loads(trace_path.read_text(encoding="utf-8"))
         assert "traceEvents" in trace
@@ -658,6 +659,22 @@ class TestNamespaceDrift:
             _measure("arith_add", "default", source, CompilationSession())
         observed = {namespace_of(key) for key in session.metrics.snapshot()}
         assert observed <= set(NAMESPACES)
-        # ... and the compile+run exercises every namespace, so a new
-        # surface cannot be added without being classified here.
-        assert observed == set(NAMESPACES)
+        # ... and a clean compile+run exercises every namespace except the
+        # failure-path `resilience.` one, so a new surface cannot be added
+        # without being classified here.
+        assert observed == set(NAMESPACES) - {"resilience"}
+
+    def test_fault_injected_run_publishes_resilience_metrics(self):
+        from repro.backend.pipeline import run_mlir
+        from repro.resilience import FaultPlan, fault_plan
+
+        source = REGRESSION_BY_NAME["arith_add"].source
+        with telemetry_session() as session:
+            with fault_plan(FaultPlan.parse(["vm.dispatch:1"])):
+                run_mlir(source)
+        snapshot = session.metrics.snapshot()
+        assert snapshot.get("resilience.faults.injected") == 1
+        assert snapshot.get("resilience.fallback.vm_to_tree") == 1
+        observed = {namespace_of(key) for key in snapshot}
+        assert "resilience" in observed
+        assert observed <= set(NAMESPACES)
