@@ -44,7 +44,11 @@ from .backend.pipeline import (
     MlirCompiler,
     PipelineOptions,
 )
-from .interp.bytecode import EXECUTION_ENGINES
+from .interp.bytecode import (
+    DISPATCH_MODES,
+    EXECUTION_ENGINES,
+    FUSED_OPCODE_BASES,
+)
 from .ir.printer import print_module
 from .lean import LexError, ParseError, TypeError_
 from .resilience import FaultPlan, fault_plan
@@ -86,14 +90,25 @@ def _print_run_report(result, *, show_metrics: bool) -> None:
     )
 
 
-def _print_exec_stats(registry: MetricsRegistry) -> None:
-    """Sorted VM instruction-frequency table from ``vm.instr.freq.*``."""
+def _print_exec_stats(registry: MetricsRegistry, *, unfused: bool = False) -> None:
+    """Sorted VM instruction-frequency table from ``vm.instr.freq.*``.
+
+    With ``unfused`` every superinstruction row is decomposed back into
+    its base opcodes (one fused execution counts once for each
+    constituent), so the table is comparable across ``--no-fusion`` runs.
+    """
     prefix = "vm.instr.freq."
     frequencies = {
         name[len(prefix):]: count
         for name, count in registry.snapshot().items()
         if name.startswith(prefix)
     }
+    if unfused:
+        decomposed: dict = {}
+        for name, count in frequencies.items():
+            for base in FUSED_OPCODE_BASES.get(name, (name,)):
+                decomposed[base] = decomposed.get(base, 0) + count
+        frequencies = decomposed
     total = sum(frequencies.values())
     print(f"[exec-stats] {total} instructions across "
           f"{len(frequencies)} opcodes")
@@ -142,6 +157,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default) or the tree-walking oracle interpreter",
     )
     parser.add_argument(
+        "--dispatch", choices=DISPATCH_MODES, default="threaded",
+        help="VM dispatch strategy: direct-threaded closures (default) or "
+        "the tuple-switch oracle loop (vm engine only)",
+    )
+    parser.add_argument(
+        "--no-fusion", action="store_true",
+        help="disable the superinstruction peephole when compiling bytecode "
+        "(vm engine only; the fused VM is the default)",
+    )
+    parser.add_argument(
         "--emit", choices=("c", "lp", "rgn", "rgn-opt", "cfg"), default=None,
         help="print a compilation artifact instead of running (rgn is the "
         "module entering the rgn optimisations, rgn-opt the module leaving "
@@ -172,6 +197,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--exec-stats", action="store_true",
         help="print a sorted VM instruction-frequency table after the run "
         "(requires --execution-engine vm)",
+    )
+    parser.add_argument(
+        "--unfused", action="store_true",
+        help="decompose superinstruction rows in the --exec-stats table "
+        "back into their base opcodes",
     )
     parser.add_argument(
         "--print-ir-after", metavar="PASS", action="append", default=[],
@@ -211,6 +241,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.unfused and not args.exec_stats:
+        print(
+            "error: --unfused only makes sense with --exec-stats",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         source = _read_source(args.file)
@@ -243,7 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.metrics_json:
             registry.write_json(args.metrics_json)
     if code == 0 and args.exec_stats:
-        _print_exec_stats(registry)
+        _print_exec_stats(registry, unfused=args.unfused)
     return code
 
 
@@ -271,6 +307,8 @@ def _dispatch(args, source: str) -> int:
             rc_mode=args.rc_mode or "naive",
             session=session,
             execution_engine=args.execution_engine,
+            dispatch=args.dispatch,
+            superinstructions=not args.no_fusion,
             execution_budget_seconds=args.budget_seconds,
             execution_budget_steps=args.budget_steps,
         )
@@ -285,6 +323,8 @@ def _dispatch(args, source: str) -> int:
         if args.rewrite_engine is not None:
             options.rewrite_engine = args.rewrite_engine
         options.execution_engine = args.execution_engine
+        options.dispatch = args.dispatch
+        options.superinstructions = not args.no_fusion
         options.verbose_passes = args.verbose
         options.print_ir_after = tuple(args.print_ir_after)
         options.print_ir_after_all = args.print_ir_after_all

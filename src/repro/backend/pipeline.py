@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dialects.builtin import ModuleOp
 from ..interp.bytecode import (
+    DISPATCH_MODES,
     EXECUTION_ENGINES,
     BytecodeError,
     BytecodeProgram,
@@ -98,6 +99,14 @@ class PipelineOptions:
     #: bytecode, the default) or "tree" (the tree-walking interpreters,
     #: kept as differential oracles).
     execution_engine: str = "vm"
+    #: VM dispatch mode: "threaded" (closure-per-instruction direct
+    #: threading, the default) or "switch" (the tuple-decoding loop, kept
+    #: as the in-VM oracle).  Ignored by the tree engine.
+    dispatch: str = "threaded"
+    #: Run the superinstruction fusion peephole over compiled bytecode.
+    #: Fused instructions charge exactly the unfused events, so this only
+    #: changes execution speed, never metrics or results.
+    superinstructions: bool = True
     #: Verify the IR after every pass (slower; on by default in tests).
     verify_each: bool = True
     #: Print per-pass wall time and rewrite counters while compiling.
@@ -161,6 +170,13 @@ def _check_execution_engine(engine: str) -> None:
     if engine not in EXECUTION_ENGINES:
         raise ValueError(
             f"unknown execution engine {engine!r} (expected {EXECUTION_ENGINES})"
+        )
+
+
+def _check_dispatch(dispatch: str) -> None:
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {dispatch!r} (expected {DISPATCH_MODES})"
         )
 
 
@@ -235,7 +251,7 @@ class CompilationSession:
 
     def __init__(self):
         self._pure_cache: Dict[str, PureProgram] = {}
-        self._bytecode_cache: Dict[int, tuple] = {}
+        self._bytecode_cache: Dict[tuple, tuple] = {}
         self._rgn_opt_cache: Dict[tuple, object] = {}
         self.lowering_context = LoweringContext()
         self.hits = 0
@@ -278,13 +294,31 @@ class CompilationSession:
                 )
             return copy.deepcopy(cached)
 
-    def bytecode_for(self, module: ModuleOp) -> BytecodeProgram:
-        """Bytecode for a CFG-form ``module``, compiled once per module."""
-        return self._cached_bytecode(module, compile_cfg_module)
+    def bytecode_for(
+        self,
+        module: ModuleOp,
+        *,
+        dispatch: str = "threaded",
+        superinstructions: bool = True,
+    ) -> BytecodeProgram:
+        """Bytecode for a CFG-form ``module``, compiled once per (module,
+        dispatch mode, fusion flag)."""
+        return self._cached_bytecode(
+            module, compile_cfg_module, dispatch, superinstructions
+        )
 
-    def rc_bytecode_for(self, program: PureProgram) -> BytecodeProgram:
-        """Bytecode for a λrc ``program``, compiled once per program."""
-        return self._cached_bytecode(program, compile_rc_program)
+    def rc_bytecode_for(
+        self,
+        program: PureProgram,
+        *,
+        dispatch: str = "threaded",
+        superinstructions: bool = True,
+    ) -> BytecodeProgram:
+        """Bytecode for a λrc ``program``, compiled once per (program,
+        dispatch mode, fusion flag)."""
+        return self._cached_bytecode(
+            program, compile_rc_program, dispatch, superinstructions
+        )
 
     #: Bound on cached bytecode rows.  Each row pins its module alive (the
     #: strong reference is what keeps ``id`` keys valid), and compile-only
@@ -292,8 +326,13 @@ class CompilationSession:
     #: would retain every module it ever executed.
     BYTECODE_CACHE_LIMIT = 128
 
-    def _cached_bytecode(self, source: object, compiler) -> BytecodeProgram:
-        key = id(source)
+    def _cached_bytecode(
+        self, source: object, compiler, dispatch: str, superinstructions: bool
+    ) -> BytecodeProgram:
+        # Keyed on (module identity, dispatch mode, fusion flag): switching
+        # engine configuration mid-session must never serve bytecode
+        # compiled for another configuration.
+        key = (id(source), dispatch, superinstructions)
         entry = self._bytecode_cache.get(key)
         registry = get_metrics()
         if entry is not None and entry[0] is source:
@@ -313,7 +352,7 @@ class CompilationSession:
         self.bytecode_misses += 1
         if registry.enabled:
             registry.bump("session.bytecode.misses")
-        bytecode = compiler(source)
+        bytecode = compiler(source, fuse=superinstructions)
         while len(self._bytecode_cache) >= self.BYTECODE_CACHE_LIMIT:
             # FIFO eviction (dicts preserve insertion order): repeated
             # execution of a recent module stays cached, ancient rows go.
@@ -536,15 +575,20 @@ class BaselineCompiler:
         rc_mode: str = "naive",
         session: Optional[CompilationSession] = None,
         execution_engine: str = "vm",
+        dispatch: str = "threaded",
+        superinstructions: bool = True,
         enable_fallbacks: bool = True,
         execution_budget_seconds: Optional[float] = None,
         execution_budget_steps: Optional[int] = None,
     ):
         _check_execution_engine(execution_engine)
+        _check_dispatch(dispatch)
         self.enable_simplifier = enable_simplifier
         self.rc_mode = rc_mode
         self.session = session
         self.execution_engine = execution_engine
+        self.dispatch = dispatch
+        self.superinstructions = superinstructions
         self.enable_fallbacks = enable_fallbacks
         self.execution_budget_seconds = execution_budget_seconds
         self.execution_budget_steps = execution_budget_steps
@@ -603,13 +647,18 @@ class BaselineCompiler:
                 rc_program, budget=self._execution_budget()
             ).run_main(check_heap=check_heap)
         bytecode = (
-            self.session.rc_bytecode_for(rc_program)
+            self.session.rc_bytecode_for(
+                rc_program,
+                dispatch=self.dispatch,
+                superinstructions=self.superinstructions,
+            )
             if self.session is not None
-            else compile_rc_program(rc_program)
+            else compile_rc_program(rc_program, fuse=self.superinstructions)
         )
         try:
             return VirtualMachine(
-                bytecode, budget=self._execution_budget()
+                bytecode, dispatch=self.dispatch,
+                budget=self._execution_budget(),
             ).run_main(check_heap=check_heap)
         except (InjectedFault, BytecodeError):
             if not self.enable_fallbacks:
@@ -633,6 +682,7 @@ class MlirCompiler:
     ):
         self.options = options if options is not None else PipelineOptions()
         _check_execution_engine(self.options.execution_engine)
+        _check_dispatch(self.options.dispatch)
         self.session = session
 
     def compile(self, source: str) -> CompilationArtifacts:
@@ -732,13 +782,18 @@ class MlirCompiler:
                 cfg_module, budget=options.execution_budget()
             ).run_main(check_heap=check_heap)
         bytecode = (
-            self.session.bytecode_for(cfg_module)
+            self.session.bytecode_for(
+                cfg_module,
+                dispatch=options.dispatch,
+                superinstructions=options.superinstructions,
+            )
             if self.session is not None
-            else compile_cfg_module(cfg_module)
+            else compile_cfg_module(cfg_module, fuse=options.superinstructions)
         )
         try:
             return VirtualMachine(
-                bytecode, budget=options.execution_budget()
+                bytecode, dispatch=options.dispatch,
+                budget=options.execution_budget(),
             ).run_main(check_heap=check_heap)
         except (InjectedFault, BytecodeError):
             if not options.enable_fallbacks:
@@ -771,6 +826,8 @@ def run_baseline(
     rc_mode: str = "naive",
     session: Optional[CompilationSession] = None,
     execution_engine: str = "vm",
+    dispatch: str = "threaded",
+    superinstructions: bool = True,
     budget_seconds: Optional[float] = None,
     budget_steps: Optional[int] = None,
 ) -> RunResult:
@@ -779,6 +836,8 @@ def run_baseline(
         rc_mode=rc_mode,
         session=session,
         execution_engine=execution_engine,
+        dispatch=dispatch,
+        superinstructions=superinstructions,
         execution_budget_seconds=budget_seconds,
         execution_budget_steps=budget_steps,
     ).run(source, check_heap=check_heap)

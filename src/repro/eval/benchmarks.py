@@ -421,10 +421,30 @@ LARGE_SIZES: Dict[str, Dict[str, int]] = {
     "unionfind": {"elements": 300, "unions": 240},
 }
 
+#: The extra-large tier funded by the VM 2.0 work (superinstruction
+#: fusion, direct-threaded dispatch, explicit call stack): roughly another
+#: order of magnitude beyond ``large``.  Only meaningful on the VM — the
+#: tree-walkers are skipped for this tier by the timing harness.
+XLARGE_SIZES: Dict[str, Dict[str, int]] = {
+    "binarytrees": {"depth": 13},
+    "binarytrees-int": {"depth": 13},
+    "const_fold": {"depth": 6, "reps": 180},
+    "deriv": {"reps": 180},
+    # digits cost grows superlinearly in reps (fib arguments track the
+    # loop counter, so bigint widths grow too): 320/48 lands at ~10x the
+    # large tier like the rest of the row.
+    "digits": {"reps": 320, "span": 48},
+    "filter": {"length": 1600},
+    "qsort": {"size": 300},
+    "rbmap_checkpoint": {"inserts": 2200},
+    "unionfind": {"elements": 2400, "unions": 2000},
+}
+
 #: Named size tiers selectable from the harness / figure CLI.
 SIZE_TIERS: Dict[str, Dict[str, Dict[str, int]]] = {
     "default": DEFAULT_SIZES,
     "large": LARGE_SIZES,
+    "xlarge": XLARGE_SIZES,
 }
 
 

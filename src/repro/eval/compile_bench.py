@@ -25,6 +25,7 @@ Usage::
     python -m repro.eval.compile_bench --baseline BENCH_compile.json
     python -m repro.eval.compile_bench --jobs 4         # shard across processes
     python -m repro.eval.compile_bench --exec-table     # VM vs tree execution
+    python -m repro.eval.compile_bench --exec-table --sizes xlarge  # VM-only tier
 """
 
 from __future__ import annotations
@@ -54,7 +55,7 @@ from ..telemetry import (
     telemetry_session,
 )
 from ..transforms.canonicalize import canonicalization_patterns
-from .benchmarks import DEFAULT_SIZES, benchmark_sources
+from .benchmarks import DEFAULT_SIZES, SIZE_TIERS, benchmark_sources
 from .harness import measurement_options, run_sharded
 
 #: Compilation phases reported per benchmark (in pipeline order).
@@ -496,49 +497,105 @@ def execution_table(
     *,
     variant: str = "default",
     repeats: int = 2,
+    tier: str = "default",
+    include_tree: Optional[bool] = None,
 ) -> str:
-    """Execution wall-time table: the bytecode VM vs the tree-walking oracle.
+    """Execution wall-time table across the execution-strategy ladder.
 
     Each benchmark is compiled once; the same CFG module is then executed
-    by both engines (best of ``repeats`` runs each), so the table isolates
-    pure execution time.  CI appends this to the uploaded timings artifact
-    — it is the regression surface for the execution-engine work, the way
-    the phase table is for compile time.
+    by the tree-walking oracle, the unfused switch VM (the engine before the fusion work) and
+    the fused direct-threaded VM (best of ``repeats`` runs each), so the
+    table isolates pure execution time.  CI appends this to the uploaded
+    timings artifact — it is the regression surface for the execution-
+    engine work, the way the phase table is for compile time.
+
+    ``tier`` names the :data:`~repro.eval.benchmarks.SIZE_TIERS` entry to
+    run (ignored when explicit ``sizes`` are passed).  The tree column is
+    skipped on the ``xlarge`` tier by default — that tier exists precisely
+    because the walkers cannot sustain it; pass ``include_tree`` to
+    override either way.
     """
-    sources = benchmark_sources(sizes or DEFAULT_SIZES)
+    if sizes is None:
+        sizes = SIZE_TIERS[tier]
+    else:
+        tier = "custom"
+    if include_tree is None:
+        include_tree = tier != "xlarge"
+    sources = benchmark_sources(sizes)
     session = CompilationSession()
     options = measurement_options(variant)
-    title = "Execution time: register-bytecode VM vs tree-walking oracle"
+    title = (
+        "Execution time: tree oracle vs switch VM vs fused threaded VM"
+        if include_tree
+        else "Execution time: switch VM vs fused threaded VM (tree skipped)"
+    )
     lines = [title, "=" * len(title)]
-    header = f"{'benchmark':18s} {'tree ms':>9s} {'vm ms':>9s} {'speedup':>8s}"
+    header = (
+        f"{'benchmark':18s} {'tree ms':>9s} {'switch ms':>10s}"
+        f" {'threaded ms':>12s} {'vs tree':>8s} {'vs switch':>10s}"
+    )
     lines.append(header)
     total_tree = 0.0
-    total_vm = 0.0
+    total_switch = 0.0
+    total_threaded = 0.0
     for name, source in sources.items():
         module = MlirCompiler(options, session=session).compile(source).cfg_module
-        tree_seconds = min(
-            CfgInterpreter(module).run_main().metrics.wall_time_seconds
+        if include_tree:
+            tree_seconds = min(
+                CfgInterpreter(module).run_main().metrics.wall_time_seconds
+                for _ in range(repeats)
+            )
+            total_tree += tree_seconds
+            tree_cell = f"{tree_seconds * 1e3:9.2f}"
+        else:
+            tree_cell = f"{'-':>9s}"
+        switch_code = session.bytecode_for(
+            module, dispatch="switch", superinstructions=False
+        )
+        switch_seconds = min(
+            VirtualMachine(switch_code, dispatch="switch")
+            .run_main().metrics.wall_time_seconds
             for _ in range(repeats)
         )
-        bytecode = session.bytecode_for(module)
-        vm_seconds = min(
-            VirtualMachine(bytecode).run_main().metrics.wall_time_seconds
+        threaded_code = session.bytecode_for(module)
+        threaded_seconds = min(
+            VirtualMachine(threaded_code).run_main().metrics.wall_time_seconds
             for _ in range(repeats)
         )
-        total_tree += tree_seconds
-        total_vm += vm_seconds
-        speedup = tree_seconds / vm_seconds if vm_seconds else float("inf")
+        total_switch += switch_seconds
+        total_threaded += threaded_seconds
+        vs_tree = (
+            f"{tree_seconds / threaded_seconds:7.2f}x"
+            if include_tree and threaded_seconds
+            else f"{'-':>8s}"
+        )
+        vs_switch = (
+            switch_seconds / threaded_seconds if threaded_seconds else float("inf")
+        )
         lines.append(
-            f"{name:18s} {tree_seconds * 1e3:9.2f} {vm_seconds * 1e3:9.2f}"
-            f" {speedup:7.2f}x"
+            f"{name:18s} {tree_cell} {switch_seconds * 1e3:10.2f}"
+            f" {threaded_seconds * 1e3:12.2f} {vs_tree} {vs_switch:9.2f}x"
         )
     lines.append("-" * len(header))
-    total_speedup = total_tree / total_vm if total_vm else float("inf")
-    lines.append(
-        f"{'total':18s} {total_tree * 1e3:9.2f} {total_vm * 1e3:9.2f}"
-        f" {total_speedup:7.2f}x"
+    total_tree_cell = (
+        f"{total_tree * 1e3:9.2f}" if include_tree else f"{'-':>9s}"
     )
-    lines.append(f"(variant={variant}, sizes=default, best of {repeats} runs)")
+    total_vs_tree = (
+        f"{total_tree / total_threaded:7.2f}x"
+        if include_tree and total_threaded
+        else f"{'-':>8s}"
+    )
+    total_vs_switch = (
+        total_switch / total_threaded if total_threaded else float("inf")
+    )
+    lines.append(
+        f"{'total':18s} {total_tree_cell} {total_switch * 1e3:10.2f}"
+        f" {total_threaded * 1e3:12.2f} {total_vs_tree} {total_vs_switch:9.2f}x"
+    )
+    lines.append(
+        f"(variant={variant}, sizes={tier}, best of {repeats} runs; "
+        "switch column runs unfused bytecode — the pre-fusion engine)"
+    )
     return "\n".join(lines)
 
 
@@ -570,8 +627,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--exec-table", action="store_true",
-        help="print the execution wall-time table (bytecode VM vs the "
-        "tree-walking oracle) instead of the compile-time report",
+        help="print the execution wall-time table (tree oracle vs switch "
+        "VM vs fused threaded VM) instead of the compile-time report",
+    )
+    parser.add_argument(
+        "--sizes", choices=sorted(SIZE_TIERS), default="default",
+        help="problem-size tier for --exec-table (the tree column is "
+        "skipped on xlarge — that tier is VM-only)",
     )
     parser.add_argument(
         "--execution-engine", choices=EXECUTION_ENGINES, default=None,
@@ -613,7 +675,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_reports(args) -> int:
     if args.exec_table:
-        print(execution_table(variant=args.variant or "default"))
+        print(execution_table(variant=args.variant or "default", tier=args.sizes))
         return 0
     if args.variant is None:
         args.variant = "rgn"

@@ -9,8 +9,13 @@ Usage::
     python -m repro.eval.figures --figure compile
     python -m repro.eval.figures --all
     python -m repro.eval.figures --all --jobs 4   # shard across processes
-    python -m repro.eval.figures --figure 9 --sizes large       # big-tier run
+    python -m repro.eval.figures --figure 9 --sizes xlarge      # biggest tier
+    python -m repro.eval.figures --all --sizes default          # quick tier
     python -m repro.eval.figures --all --execution-engine tree  # oracle engine
+
+The ``large`` tier is the figure default (the fused direct-threaded VM is
+fast enough); ``default`` stays the quick tier for smoke runs and the
+tree-walking oracles, and ``xlarge`` exercises the VM 2.0 headroom.
 
 Each report prints the same rows/series as the paper's figure; absolute
 numbers differ (the substrate is a cost-model interpreter, not the authors'
@@ -24,7 +29,7 @@ import argparse
 import json
 from typing import List, Optional
 
-from ..interp.bytecode import EXECUTION_ENGINES
+from ..interp.bytecode import DISPATCH_MODES, EXECUTION_ENGINES
 from ..telemetry import telemetry_session
 from .benchmarks import SIZE_TIERS
 from .harness import EvaluationHarness, FigureData
@@ -254,9 +259,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "output is byte-identical either way",
     )
     parser.add_argument(
-        "--sizes", choices=sorted(SIZE_TIERS), default="default",
-        help="benchmark problem-size tier (the 'large' tier is sized for "
-        "the bytecode engine)",
+        "--sizes", choices=sorted(SIZE_TIERS), default="large",
+        help="benchmark problem-size tier; 'large' (the default) is sized "
+        "for the bytecode engine and 'xlarge' for the fused direct-"
+        "threaded VM",
+    )
+    parser.add_argument(
+        "--dispatch", choices=DISPATCH_MODES, default="threaded",
+        help="VM dispatch strategy (vm engine only); the figure output is "
+        "byte-identical either way",
     )
     parser.add_argument(
         "--metrics-json", metavar="PATH", default=None,
@@ -270,6 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         SIZE_TIERS[args.sizes],
         jobs=args.jobs,
         execution_engine=args.execution_engine,
+        dispatch=args.dispatch,
     )
     if args.correctness:
         print(correctness_report(harness))

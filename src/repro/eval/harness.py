@@ -35,6 +35,7 @@ def measurement_options(
     *,
     rewrite_engine: Optional[str] = None,
     execution_engine: Optional[str] = None,
+    dispatch: Optional[str] = None,
 ) -> PipelineOptions:
     """The :class:`PipelineOptions` used for *measurement* runs.
 
@@ -58,6 +59,8 @@ def measurement_options(
         options.rewrite_engine = rewrite_engine
     if execution_engine is not None:
         options.execution_engine = execution_engine
+    if dispatch is not None:
+        options.dispatch = dispatch
     return options
 
 
@@ -118,15 +121,19 @@ def _measure(
     source: str,
     session: Optional[CompilationSession] = None,
     execution_engine: str = "vm",
+    dispatch: str = "threaded",
 ) -> VariantMeasurement:
     def run():
         if variant == "baseline":
             return run_baseline(
-                source, session=session, execution_engine=execution_engine
+                source, session=session, execution_engine=execution_engine,
+                dispatch=dispatch,
             )
         return run_mlir(
             source,
-            measurement_options(variant, execution_engine=execution_engine),
+            measurement_options(
+                variant, execution_engine=execution_engine, dispatch=dispatch
+            ),
             session=session,
         )
 
@@ -158,17 +165,17 @@ def _measure(
 
 
 def _measure_benchmark_worker(
-    task: Tuple[str, str, Tuple[str, ...], str],
+    task: Tuple[str, str, Tuple[str, ...], str, str],
 ) -> List[VariantMeasurement]:
     """One shard: measure every requested variant of one benchmark.
 
     Runs in a worker process, so it builds its own session — the frontend
     of the benchmark is still shared across the variants it measures.
     """
-    name, source, variants, execution_engine = task
+    name, source, variants, execution_engine, dispatch = task
     session = CompilationSession()
     return [
-        _measure(name, variant, source, session, execution_engine)
+        _measure(name, variant, source, session, execution_engine, dispatch)
         for variant in variants
     ]
 
@@ -238,12 +245,14 @@ class EvaluationHarness:
         jobs: int = 1,
         session: Optional[CompilationSession] = None,
         execution_engine: str = "vm",
+        dispatch: str = "threaded",
     ):
         self.sizes = sizes or DEFAULT_SIZES
         self.sources = benchmark_sources(self.sizes)
         self.jobs = max(1, int(jobs))
         self.session = session if session is not None else CompilationSession()
         self.execution_engine = execution_engine
+        self.dispatch = dispatch
 
     # -- measurement fan-out ----------------------------------------------------
     def _measurements(
@@ -255,17 +264,17 @@ class EvaluationHarness:
         identical whichever way the measurements were scheduled.
         """
         tasks = [
-            (name, source, tuple(variants), self.execution_engine)
+            (name, source, tuple(variants), self.execution_engine, self.dispatch)
             for name, source in self.sources.items()
         ]
         results = run_sharded(tasks, _measure_benchmark_worker, self.jobs)
         if results is None:
             results = [
                 [
-                    _measure(name, variant, source, self.session, engine)
+                    _measure(name, variant, source, self.session, engine, dispatch)
                     for variant in variants
                 ]
-                for name, source, variants, engine in tasks
+                for name, source, variants, engine, dispatch in tasks
             ]
         return {
             task[0]: {m.variant: m for m in measurements}
@@ -279,9 +288,12 @@ class EvaluationHarness:
         for name, source in self.sources.items():
             expected = run_reference(source, session=self.session)
             baseline = run_baseline(
-                source, session=self.session, execution_engine=self.execution_engine
+                source, session=self.session,
+                execution_engine=self.execution_engine, dispatch=self.dispatch,
             )
-            options = PipelineOptions(execution_engine=self.execution_engine)
+            options = PipelineOptions(
+                execution_engine=self.execution_engine, dispatch=self.dispatch
+            )
             mlir = run_mlir(source, options, session=self.session)
             report[name] = baseline.value == expected and mlir.value == expected
         return report

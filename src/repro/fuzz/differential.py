@@ -5,6 +5,8 @@ One program goes through **every** configuration the compiler exposes:
 * rc mode: ``rc-naive`` / ``rc-opt`` / ``rc-opt+reuse``,
 * rewrite engine: ``worklist`` / ``rescan``,
 * execution engine: ``vm`` (register bytecode) / ``tree`` (walker oracles),
+  with the VM measured under both dispatch modes (``threaded`` /
+  ``switch``),
 * incremental rgn-opt recompilation: off / on,
 
 plus the baseline ("leanc") pipeline at every rc mode and the λpure
@@ -49,10 +51,11 @@ from ..backend.pipeline import (
 )
 from ..eval.harness import measurement_options
 
-#: The four matrix axes (rc mode × rewrite engine × execution engine ×
-#: incremental recompilation).
+#: The matrix axes (rc mode × rewrite engine × execution engine [× VM
+#: dispatch mode] × incremental recompilation).
 REWRITE_ENGINES = ("worklist", "rescan")
 EXECUTION_ENGINES = ("vm", "tree")
+DISPATCH_MODES = ("threaded", "switch")
 INCREMENTAL_MODES = (False, True)
 
 #: Default per-program execution step budget (calls and branches).  Fuel-
@@ -71,33 +74,42 @@ class MatrixConfig:
     rewrite_engine: str
     execution_engine: str
     incremental: bool
+    #: VM dispatch mode; irrelevant (but harmless) for the tree engine.
+    dispatch: str = "threaded"
 
     @property
     def label(self) -> str:
         inc = "inc" if self.incremental else "noinc"
-        return (
-            f"{self.rc_variant}/{self.rewrite_engine}/"
-            f"{self.execution_engine}/{inc}"
-        )
+        engine = self.execution_engine
+        if engine == "vm":
+            engine = f"vm-{self.dispatch}"
+        return f"{self.rc_variant}/{self.rewrite_engine}/{engine}/{inc}"
 
 
 def full_matrix() -> Tuple[MatrixConfig, ...]:
-    """Every lp+rgn configuration: 3 × 2 × 2 × 2 = 24 compiles per program."""
+    """Every lp+rgn configuration: 3 rc modes × 2 rewrite engines ×
+    3 executions (tree, vm-threaded, vm-switch) × 2 incremental modes =
+    36 compiles per program."""
+    executions = [("tree", "threaded")] + [
+        ("vm", dispatch) for dispatch in DISPATCH_MODES
+    ]
     return tuple(
-        MatrixConfig(rc, engine, execution, incremental)
-        for rc, engine, execution, incremental in itertools.product(
-            RC_VARIANTS, REWRITE_ENGINES, EXECUTION_ENGINES, INCREMENTAL_MODES
+        MatrixConfig(rc, engine, execution, incremental, dispatch)
+        for rc, engine, (execution, dispatch), incremental in itertools.product(
+            RC_VARIANTS, REWRITE_ENGINES, executions, INCREMENTAL_MODES
         )
     )
 
 
 def smoke_matrix() -> Tuple[MatrixConfig, ...]:
     """A cheaper diagonal used by the CI smoke budget: every rc mode, every
-    engine and the incremental path each appear at least once."""
+    engine, every dispatch mode and the incremental path each appear at
+    least once."""
     return (
         MatrixConfig("rc-naive", "worklist", "vm", False),
         MatrixConfig("rc-naive", "rescan", "tree", False),
         MatrixConfig("rc-opt", "worklist", "tree", True),
+        MatrixConfig("rc-opt", "rescan", "vm", False, "switch"),
         MatrixConfig("rc-opt+reuse", "worklist", "vm", True),
         MatrixConfig("rc-opt+reuse", "rescan", "vm", False),
     )
@@ -143,6 +155,7 @@ def _mlir_options(config: MatrixConfig, budget_steps: Optional[int] = None):
         config.rc_variant,
         rewrite_engine=config.rewrite_engine,
         execution_engine=config.execution_engine,
+        dispatch=config.dispatch,
     )
     options.incremental_rgn_opt = config.incremental
     options.execution_budget_steps = budget_steps

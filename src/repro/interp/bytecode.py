@@ -31,6 +31,29 @@ instruction).  The VM charges exactly the events the corresponding
 tree-walker charges, so results, :class:`~repro.interp.metrics.
 ExecutionMetrics` and heap statistics are identical — the tree-walkers
 survive as differential oracles (``execution_engine="tree"``).
+
+Three execution-speed levers sit on top of that contract:
+
+* *superinstructions* — :func:`fuse_program` runs a peephole over the
+  compiled code arrays that collapses the hot adjacent pairs the
+  ``vm.instr.freq.*`` telemetry identified (``cmp``+``cond_br``,
+  ``const``+``binarith``/``cmp``, ``getlabel``+``switch``,
+  ``proj``+``call``) into single fused opcodes.  Fusion is driven by the
+  declarative :data:`FUSION_RULES` table — a new pair is one more table
+  entry — and a fused instruction charges *exactly* the cost-model events
+  of the unfused sequence, so metrics stay byte-identical.  (λrc ``case``
+  is already the pre-fused tag dispatch: the rc frontend never emits a
+  separate ``getlabel``, which is why the getlabel fusion pairs with the
+  CFG ``switch``.)
+* *direct-threaded dispatch* — the default ``dispatch="threaded"`` mode
+  precompiles every instruction to a bound closure capturing its operands
+  so the run loop is ``pc = ops[pc](regs)``; the tuple-decoding loop
+  survives as the ``dispatch="switch"`` oracle.
+* *an explicit call stack* — ``call``/``ret`` push and pop VM frames
+  inside the run loop instead of recursing in Python, so deep recursion
+  no longer rides ``sys.setrecursionlimit`` and
+  :class:`~repro.resilience.budgets.ExecutionBudget` counts VM frames,
+  not Python depth.
 """
 
 from __future__ import annotations
@@ -43,6 +66,7 @@ from ..dialects.builtin import ModuleOp
 from ..dialects.func import CallOp, FuncOp, GetGlobalOp, ReturnOp, SetGlobalOp
 from ..lambda_pure import ir as rc_ir
 from ..runtime import (
+    BUILTINS,
     CtorObject,
     RuntimeContext,
     RuntimeError_,
@@ -59,12 +83,16 @@ from ..resilience.budgets import ExecutionBudget
 from ..resilience.faults import fault_hit
 from ..telemetry import get_metrics, get_tracer
 from .cfg_interp import CfgInterpreterError
-from .limits import recursion_limit
 from .metrics import DEFAULT_COSTS, ExecutionMetrics
 from .rc_interp import RunResult
 
 #: The execution engines understood by the pipeline layer.
 EXECUTION_ENGINES = ("vm", "tree")
+
+#: The VM dispatch modes: ``threaded`` (closure-per-instruction direct
+#: threading, the default) and ``switch`` (the tuple-decoding loop, kept
+#: as the in-VM oracle).
+DISPATCH_MODES = ("threaded", "switch")
 
 
 class BytecodeError(Exception):
@@ -107,6 +135,32 @@ OP_CMP = 24         # (op, dst, fn, lhs, rhs)         charge: arith
 OP_SELECT = 25      # (op, dst, cond, t, f)           charge: arith
 OP_CAST = 26        # (op, dst, src)                  charge: arith
 
+# Superinstructions (emitted only by the fusion peephole, never by the
+# frontends).  Each charges exactly the events of its unfused pair; the
+# first instruction's destination register is still written, so fusion
+# needs no liveness analysis.
+OP_CMP_CONDBR = 27        # (op, dst, fn, lhs, rhs, tpc, tsrcs, tdsts, fpc, fsrcs, fdsts)
+OP_CONST_BINARITH = 28    # (op, cdst, value, dst, fn, lhs, rhs)
+OP_CONST_CMP = 29         # (op, cdst, value, dst, fn, lhs, rhs)
+OP_GETLABEL_SWITCH = 30   # (op, dst, src, {tag: pc}, default_pc)
+OP_PROJ_CALL = 31         # (op, pdst, psrc, pindex, cdst, BytecodeFunction, arg_regs)
+
+# Chain superinstructions — second-pass fusions over already-fused
+# opcodes (the peephole runs to fixpoint), covering the hottest dynamic
+# sequences of the benchmark suite: constructor-tag dispatch
+# (getlabel; const; cmp; cond_br) and RC/projection runs.
+OP_CONST_CMP_CONDBR = 32  # (op, cdst, value, dst, fn, lhs, rhs,
+                          #  tpc, tsrcs, tdsts, fpc, fsrcs, fdsts)
+OP_GETLABEL_CMP_CONDBR = 33  # (op, gdst, gsrc, cdst, value, dst, fn, lhs,
+                             #  rhs, tpc, tsrcs, tdsts, fpc, fsrcs, fdsts)
+OP_PROJ_PROJ = 34         # (op, d1, s1, i1, d2, s2, i2)
+OP_INT_INC = 35           # (op, dst, value, src, count)
+OP_DEC_DEC = 36           # (op, s1, c1, s2, c2)
+OP_INC_RTCALL = 37        # (op, src, count, dst, name, arg_regs)
+OP_DEC_INC = 38           # (op, dsrc, dcount, isrc, icount)
+OP_PROJ3 = 39             # (op, d1, s1, i1, d2, s2, i2, d3, s3, i3)
+OP_PROJ4 = 40             # (op, d1, s1, i1, ..., d4, s4, i4)
+
 #: Human-readable opcode names (docs/EXECUTION.md and the unit tests).
 OPCODE_NAMES = {
     OP_RET: "ret", OP_JMP: "jmp", OP_CONDBR: "cond_br", OP_SWITCH: "switch",
@@ -118,6 +172,13 @@ OPCODE_NAMES = {
     OP_RTCALL: "rtcall", OP_BADCALL: "badcall", OP_GETGLOBAL: "getglobal",
     OP_SETGLOBAL: "setglobal", OP_BINARITH: "binarith", OP_CMP: "cmp",
     OP_SELECT: "select", OP_CAST: "cast",
+    OP_CMP_CONDBR: "cmp_cond_br", OP_CONST_BINARITH: "const_binarith",
+    OP_CONST_CMP: "const_cmp", OP_GETLABEL_SWITCH: "getlabel_switch",
+    OP_PROJ_CALL: "proj_call", OP_CONST_CMP_CONDBR: "const_cmp_br",
+    OP_GETLABEL_CMP_CONDBR: "getlabel_cmp_br", OP_PROJ_PROJ: "proj_proj",
+    OP_INT_INC: "int_inc", OP_DEC_DEC: "dec_dec",
+    OP_INC_RTCALL: "inc_rtcall", OP_DEC_INC: "dec_inc",
+    OP_PROJ3: "proj3", OP_PROJ4: "proj4",
 }
 
 #: Size of the per-VM opcode frequency table.
@@ -195,7 +256,7 @@ class BytecodeProgram:
     exactly.
     """
 
-    __slots__ = ("flavor", "functions", "main")
+    __slots__ = ("flavor", "functions", "main", "fused", "fused_sites")
 
     def __init__(self, flavor: str, main: str = "main"):
         if flavor not in ("cfg", "rc"):
@@ -203,6 +264,10 @@ class BytecodeProgram:
         self.flavor = flavor
         self.functions: Dict[str, BytecodeFunction] = {}
         self.main = main
+        #: Set by :func:`fuse_program`: whether the superinstruction pass
+        #: ran, and how many static pair sites it collapsed.
+        self.fused = False
+        self.fused_sites = 0
 
     @property
     def instruction_count(self) -> int:
@@ -241,6 +306,293 @@ def _resolve_labels(code: List[Tuple]) -> List[Tuple]:
                 out.append(element)
         resolved.append(tuple(out))
     return resolved
+
+
+# ---------------------------------------------------------------------------
+# Superinstruction fusion
+# ---------------------------------------------------------------------------
+# A peephole over resolved code arrays.  A pair (A at pc, B at pc+1) fuses
+# when B is not a jump target (a jump landing *on* A still executes both,
+# exactly like the unfused sequence) and the pair's rule matcher accepts
+# the operands.  Fused instructions keep writing A's destination register,
+# so no liveness information is needed, and they charge the exact
+# cost-model events of the unfused pair — fusion is invisible to
+# ExecutionMetrics, heap statistics and results.
+
+
+class FusionRule:
+    """One declarative peephole entry: adjacent ``first``+``second``
+    opcodes fuse into ``opcode`` when ``match`` accepts the pair."""
+
+    __slots__ = ("first", "second", "opcode", "match", "build")
+
+    def __init__(self, first, second, opcode, match, build):
+        self.first = first
+        self.second = second
+        self.opcode = opcode
+        self.match = match
+        self.build = build
+
+
+#: The superinstruction table.  Adding a pair is one more entry here —
+#: plus its handler in the two dispatch loops and docs/EXECUTION.md.
+FUSION_RULES = (
+    # cmp dst feeds the branch condition.
+    FusionRule(
+        OP_CMP, OP_CONDBR, OP_CMP_CONDBR,
+        match=lambda a, b: b[1] == a[1],
+        build=lambda a, b: (
+            OP_CMP_CONDBR, a[1], a[2], a[3], a[4],
+            b[2], b[3], b[4], b[5], b[6], b[7],
+        ),
+    ),
+    # const dst feeds a binary arith operand.
+    FusionRule(
+        OP_CONST, OP_BINARITH, OP_CONST_BINARITH,
+        match=lambda a, b: a[1] == b[3] or a[1] == b[4],
+        build=lambda a, b: (
+            OP_CONST_BINARITH, a[1], a[2], b[1], b[2], b[3], b[4]
+        ),
+    ),
+    # const dst feeds a comparison operand.
+    FusionRule(
+        OP_CONST, OP_CMP, OP_CONST_CMP,
+        match=lambda a, b: a[1] == b[3] or a[1] == b[4],
+        build=lambda a, b: (
+            OP_CONST_CMP, a[1], a[2], b[1], b[2], b[3], b[4]
+        ),
+    ),
+    # getlabel dst feeds the switch flag (λrc's case is pre-fused).
+    FusionRule(
+        OP_GETLABEL, OP_SWITCH, OP_GETLABEL_SWITCH,
+        match=lambda a, b: b[1] == a[1],
+        build=lambda a, b: (OP_GETLABEL_SWITCH, a[1], a[2], b[2], b[3]),
+    ),
+    # proj dst feeds a direct-call argument.
+    FusionRule(
+        OP_PROJ, OP_CALL, OP_PROJ_CALL,
+        match=lambda a, b: a[1] in b[3],
+        build=lambda a, b: (
+            OP_PROJ_CALL, a[1], a[2], a[3], b[1], b[2], b[3]
+        ),
+    ),
+    # Chain rules (picked up by the peephole's later passes): a fused
+    # const_cmp whose result feeds the branch condition, and the full
+    # constructor-tag dispatch where getlabel feeds the comparison.
+    FusionRule(
+        OP_CONST_CMP, OP_CONDBR, OP_CONST_CMP_CONDBR,
+        match=lambda a, b: b[1] == a[3],
+        build=lambda a, b: (
+            OP_CONST_CMP_CONDBR, a[1], a[2], a[3], a[4], a[5], a[6],
+            b[2], b[3], b[4], b[5], b[6], b[7],
+        ),
+    ),
+    FusionRule(
+        OP_GETLABEL, OP_CONST_CMP_CONDBR, OP_GETLABEL_CMP_CONDBR,
+        match=lambda a, b: a[1] == b[5] or a[1] == b[6],
+        build=lambda a, b: (OP_GETLABEL_CMP_CONDBR, a[1], a[2]) + b[1:],
+    ),
+    # Straight-line runs with no dataflow condition: executing the pair
+    # inside one closure is always equivalent to executing it in sequence.
+    FusionRule(
+        OP_PROJ, OP_PROJ, OP_PROJ_PROJ,
+        match=lambda a, b: True,
+        build=lambda a, b: (
+            OP_PROJ_PROJ, a[1], a[2], a[3], b[1], b[2], b[3]
+        ),
+    ),
+    FusionRule(
+        OP_INT, OP_INC, OP_INT_INC,
+        match=lambda a, b: True,
+        build=lambda a, b: (OP_INT_INC, a[1], a[2], b[1], b[2]),
+    ),
+    FusionRule(
+        OP_DEC, OP_DEC, OP_DEC_DEC,
+        match=lambda a, b: True,
+        build=lambda a, b: (OP_DEC_DEC, a[1], a[2], b[1], b[2]),
+    ),
+    FusionRule(
+        OP_INC, OP_RTCALL, OP_INC_RTCALL,
+        match=lambda a, b: b[1] >= 0,
+        build=lambda a, b: (
+            OP_INC_RTCALL, a[1], a[2], b[1], b[2], b[3]
+        ),
+    ),
+    FusionRule(
+        OP_DEC, OP_INC, OP_DEC_INC,
+        match=lambda a, b: True,
+        build=lambda a, b: (OP_DEC_INC, a[1], a[2], b[1], b[2]),
+    ),
+    # Projection runs of three and four (λrc field extraction over wide
+    # constructors): the fixpoint pass extends an already-fused proj_proj.
+    FusionRule(
+        OP_PROJ_PROJ, OP_PROJ, OP_PROJ3,
+        match=lambda a, b: True,
+        build=lambda a, b: (OP_PROJ3,) + a[1:] + b[1:],
+    ),
+    FusionRule(
+        OP_PROJ_PROJ, OP_PROJ_PROJ, OP_PROJ4,
+        match=lambda a, b: True,
+        build=lambda a, b: (OP_PROJ4,) + a[1:] + b[1:],
+    ),
+)
+
+_RULES_BY_PAIR = {(rule.first, rule.second): rule for rule in FUSION_RULES}
+
+#: The fused opcode integers (telemetry and ``--exec-stats``).
+FUSED_OPCODES = tuple(rule.opcode for rule in FUSION_RULES)
+
+
+def _base_opcodes(opcode: int) -> Tuple[int, ...]:
+    """Transitively decompose a (possibly chain-)fused opcode into the
+    base opcodes the frontends emit."""
+    for rule in FUSION_RULES:
+        if rule.opcode == opcode:
+            return _base_opcodes(rule.first) + _base_opcodes(rule.second)
+    return (opcode,)
+
+
+#: fused name -> base-opcode names; the ``--exec-stats --unfused``
+#: decomposition back to base-opcode counts (chain fusions decompose all
+#: the way down: ``getlabel_cmp_br`` -> getlabel, const, cmp, cond_br).
+FUSED_OPCODE_BASES = {
+    OPCODE_NAMES[rule.opcode]: tuple(
+        OPCODE_NAMES[base] for base in _base_opcodes(rule.opcode)
+    )
+    for rule in FUSION_RULES
+}
+
+
+def _jump_targets(code: List[Tuple]) -> set:
+    """Every pc some instruction can transfer control to.
+
+    Handles the fused branch opcodes too: the peephole runs to fixpoint,
+    so later passes scan code that already contains superinstructions.
+    """
+    targets = set()
+    for ins in code:
+        opcode = ins[0]
+        if opcode == OP_JMP:
+            targets.add(ins[1])
+        elif opcode == OP_CONDBR:
+            targets.add(ins[2])
+            targets.add(ins[5])
+        elif opcode == OP_CMP_CONDBR:
+            targets.add(ins[5])
+            targets.add(ins[8])
+        elif opcode == OP_CONST_CMP_CONDBR:
+            targets.add(ins[7])
+            targets.add(ins[10])
+        elif opcode == OP_GETLABEL_CMP_CONDBR:
+            targets.add(ins[9])
+            targets.add(ins[12])
+        elif opcode == OP_SWITCH:
+            targets.update(ins[2].values())
+            targets.add(ins[3])
+        elif opcode == OP_GETLABEL_SWITCH:
+            targets.update(ins[3].values())
+            targets.add(ins[4])
+        elif opcode == OP_CASE:
+            targets.update(ins[2].values())
+            if ins[3] is not None:
+                targets.add(ins[3])
+    return targets
+
+
+def _remap_targets(ins: Tuple, mapping: Dict[int, int]) -> Tuple:
+    """Rewrite an instruction's branch targets through ``mapping``."""
+    opcode = ins[0]
+    if opcode == OP_JMP:
+        return (opcode, mapping[ins[1]], ins[2], ins[3])
+    if opcode == OP_CONDBR:
+        return (
+            opcode, ins[1], mapping[ins[2]], ins[3], ins[4],
+            mapping[ins[5]], ins[6], ins[7],
+        )
+    if opcode == OP_CMP_CONDBR:
+        return ins[:5] + (
+            mapping[ins[5]], ins[6], ins[7],
+            mapping[ins[8]], ins[9], ins[10],
+        )
+    if opcode == OP_CONST_CMP_CONDBR:
+        return ins[:7] + (
+            mapping[ins[7]], ins[8], ins[9],
+            mapping[ins[10]], ins[11], ins[12],
+        )
+    if opcode == OP_GETLABEL_CMP_CONDBR:
+        return ins[:9] + (
+            mapping[ins[9]], ins[10], ins[11],
+            mapping[ins[12]], ins[13], ins[14],
+        )
+    if opcode == OP_SWITCH:
+        return (
+            opcode, ins[1],
+            {key: mapping[pc] for key, pc in ins[2].items()},
+            mapping[ins[3]],
+        )
+    if opcode == OP_GETLABEL_SWITCH:
+        return (
+            opcode, ins[1], ins[2],
+            {key: mapping[pc] for key, pc in ins[3].items()},
+            mapping[ins[4]],
+        )
+    if opcode == OP_CASE:
+        return (
+            opcode, ins[1],
+            {key: mapping[pc] for key, pc in ins[2].items()},
+            mapping[ins[3]] if ins[3] is not None else None,
+        )
+    return ins
+
+
+def fuse_code(code: List[Tuple]) -> Tuple[List[Tuple], int]:
+    """One fusion pass over a code array; returns (fused code, #sites)."""
+    targets = _jump_targets(code)
+    fused: List[Tuple] = []
+    mapping: Dict[int, int] = {}
+    sites = 0
+    index = 0
+    length = len(code)
+    while index < length:
+        ins = code[index]
+        mapping[index] = len(fused)
+        if index + 1 < length and (index + 1) not in targets:
+            follower = code[index + 1]
+            rule = _RULES_BY_PAIR.get((ins[0], follower[0]))
+            if rule is not None and rule.match(ins, follower):
+                # The follower can't be a target, so mapping it to the
+                # fused pc is only for completeness.
+                mapping[index + 1] = len(fused)
+                fused.append(rule.build(ins, follower))
+                sites += 1
+                index += 2
+                continue
+        fused.append(ins)
+        index += 1
+    return [_remap_targets(ins, mapping) for ins in fused], sites
+
+
+def fuse_program(program: "BytecodeProgram") -> "BytecodeProgram":
+    """Apply superinstruction fusion to every function (idempotent).
+
+    The peephole runs to fixpoint so chain rules fire: pass one turns
+    ``const; cmp`` into ``const_cmp``, pass two fuses the branch into
+    ``const_cmp_br``, pass three folds a feeding ``getlabel`` in.
+    ``fused_sites`` counts fusion events, so a fully-fused tag dispatch
+    contributes three.
+    """
+    if program.fused:
+        return program
+    total = 0
+    for fn in program.functions.values():
+        while True:
+            fn.code, sites = fuse_code(fn.code)
+            total += sites
+            if not sites:
+                break
+    program.fused = True
+    program.fused_sites = total
+    return program
 
 
 # ---------------------------------------------------------------------------
@@ -427,11 +779,14 @@ class _CfgFunctionCompiler:
         raise BytecodeError(f"cannot compile operation {op.name}")
 
 
-def compile_cfg_module(module: ModuleOp, *, main: str = "main") -> BytecodeProgram:
+def compile_cfg_module(
+    module: ModuleOp, *, main: str = "main", fuse: bool = False
+) -> BytecodeProgram:
     """Compile a CFG-form MLIR module to a :class:`BytecodeProgram`.
 
     Declarations (runtime functions) are left to the builtin dispatcher;
-    only bodies are compiled.
+    only bodies are compiled.  ``fuse=True`` runs the superinstruction
+    peephole (:func:`fuse_program`) over the result.
     """
     program = BytecodeProgram("cfg", main=main)
     defined = [f for f in module.functions() if not f.is_declaration]
@@ -443,6 +798,8 @@ def compile_cfg_module(module: ModuleOp, *, main: str = "main") -> BytecodeProgr
         )
     for func in defined:
         _CfgFunctionCompiler(func, program.functions[func.sym_name], program).run()
+    if fuse:
+        fuse_program(program)
     return program
 
 
@@ -599,19 +956,77 @@ class _RcFunctionCompiler:
         raise BytecodeError(f"unknown expression {expr!r}")
 
 
-def compile_rc_program(program: rc_ir.Program) -> BytecodeProgram:
+def compile_rc_program(
+    program: rc_ir.Program, *, fuse: bool = False
+) -> BytecodeProgram:
     """Compile a λrc program to a :class:`BytecodeProgram`."""
     bytecode = BytecodeProgram("rc", main=program.main)
     for name, fn in program.functions.items():
         bytecode.functions[name] = BytecodeFunction(name, fn.arity)
     for name, fn in program.functions.items():
         _RcFunctionCompiler(fn, bytecode.functions[name], bytecode).run()
+    if fuse:
+        fuse_program(bytecode)
     return bytecode
 
 
 # ---------------------------------------------------------------------------
 # The VM
 # ---------------------------------------------------------------------------
+
+#: Per-opcode cost-model events that are fixed at compile time.  The
+#: threaded dispatcher counts executions per instruction *site* and
+#: derives charge counts (and opcode frequencies) from this table when a
+#: run flushes — one list increment per instruction instead of dict
+#: updates in the hot loop.  ``None`` marks ``construct``, whose category
+#: is per-site (``ins[4]``); empty tuples mark the dynamically-charged
+#: opcodes (``reuse``, ``papextend``) whose closures charge inline.
+#: Partial-charge error paths (``proj`` raising before its ``rc`` charge,
+#: ``getlabel_switch`` raising before its ``branch`` charge) apply
+#: negative corrections to the dynamic counters before propagating.
+_STATIC_CHARGES = {
+    OP_RET: ("return",),
+    OP_JMP: ("jump",),
+    OP_CONDBR: ("branch",),
+    OP_SWITCH: ("branch",),
+    OP_CASE: ("getlabel", "arith", "branch"),
+    OP_UNREACHABLE: (),
+    OP_CONST: ("const",),
+    OP_INT: ("move",),
+    OP_BIGINT: ("runtime_call",),
+    OP_CONSTRUCT: None,
+    OP_GETLABEL: ("getlabel",),
+    OP_PROJ: ("proj", "rc"),
+    OP_PAP: ("alloc_closure",),
+    OP_PAPEXTEND: (),
+    OP_INC: ("rc",),
+    OP_DEC: ("rc",),
+    OP_RESET: ("rc",),
+    OP_REUSE: (),
+    OP_CALL: ("call",),
+    OP_RTCALL: ("runtime_call",),
+    OP_BADCALL: (),
+    OP_GETGLOBAL: ("global",),
+    OP_SETGLOBAL: ("global",),
+    OP_BINARITH: ("arith",),
+    OP_CMP: ("arith",),
+    OP_SELECT: ("arith",),
+    OP_CAST: ("arith",),
+    OP_CMP_CONDBR: ("arith", "branch"),
+    OP_CONST_BINARITH: ("const", "arith"),
+    OP_CONST_CMP: ("const", "arith"),
+    OP_GETLABEL_SWITCH: ("getlabel", "branch"),
+    OP_PROJ_CALL: ("proj", "rc", "call"),
+    OP_CONST_CMP_CONDBR: ("const", "arith", "branch"),
+    OP_GETLABEL_CMP_CONDBR: ("getlabel", "const", "arith", "branch"),
+    OP_PROJ_PROJ: ("proj", "rc", "proj", "rc"),
+    OP_INT_INC: ("move", "rc"),
+    OP_DEC_DEC: ("rc", "rc"),
+    OP_INC_RTCALL: ("rc", "runtime_call"),
+    OP_DEC_INC: ("rc", "rc"),
+    OP_PROJ3: ("proj", "rc", "proj", "rc", "proj", "rc"),
+    OP_PROJ4: ("proj", "rc", "proj", "rc", "proj", "rc", "proj", "rc"),
+}
 
 
 class VirtualMachine:
@@ -635,24 +1050,33 @@ class VirtualMachine:
         *,
         context: Optional[RuntimeContext] = None,
         metrics: Optional[ExecutionMetrics] = None,
-        recursion_limit: int = 200000,
+        dispatch: str = "threaded",
         budget: Optional[ExecutionBudget] = None,
     ):
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.program = program
         self.ctx = context if context is not None else RuntimeContext()
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
         self.globals: Dict[str, object] = {}
+        self.dispatch = dispatch
         #: Local charge accumulator, folded into ``metrics.counts`` when a
         #: run finishes (the per-event ``charge`` call is the tree-walkers'
         #: single hottest line).
         self._counts: Dict[str, int] = {category: 0 for category in DEFAULT_COSTS}
         #: Dynamic instruction frequencies, indexed by opcode — the input
-        #: the ROADMAP's superinstruction selection reads, surfaced via
+        #: the superinstruction table was selected from, surfaced via
         #: :meth:`instruction_frequencies`, ``--exec-stats`` and the
         #: ``vm.instr.freq.<op>`` metrics.
         self.opcode_counts: List[int] = [0] * NUM_OPCODES
-        self.recursion_limit = recursion_limit
         self.budget = budget
+        #: Threaded-dispatch state: per-function closure arrays, the
+        #: per-site execution counters they bump, and the two cells the
+        #: call/ret closures use to talk to the frame loop.
+        self._threaded: Dict[BytecodeFunction, List[Callable]] = {}
+        self._site_tables: Dict[BytecodeFunction, List[int]] = {}
+        self._pending: List[object] = [None, None, None]
+        self._retslot: List[object] = [None]
 
     # -- error shaping ----------------------------------------------------
     def _error(self, message: str) -> Exception:
@@ -678,10 +1102,13 @@ class VirtualMachine:
             self.budget.start()
         start = time.perf_counter()
         try:
+            # The explicit call stack makes arbitrarily deep bytecode
+            # recursion safe under the default sys recursion limit; only
+            # the tree-walkers still need interp/limits.py.
             with get_tracer().span(
                 "vm:run", category="exec", main=entry,
                 flavor=self.program.flavor,
-            ), recursion_limit(self.recursion_limit):
+            ):
                 result = self.call_function(entry, list(args or []))
         finally:
             # Fold charges into the metrics even when execution faults, so
@@ -706,11 +1133,34 @@ class VirtualMachine:
         )
 
     def _flush_counts(self) -> None:
+        if self._site_tables:
+            self._drain_sites()
         counts = self.metrics.counts
         for category, count in self._counts.items():
             if count:
                 counts[category] = counts.get(category, 0) + count
                 self._counts[category] = 0
+
+    def _drain_sites(self) -> None:
+        """Fold the threaded dispatcher's per-site execution counters into
+        the charge accumulator and the opcode frequency table."""
+        counts = self._counts
+        freq = self.opcode_counts
+        for fn, sites in self._site_tables.items():
+            code = fn.code
+            for pc, executed in enumerate(sites):
+                if not executed:
+                    continue
+                ins = code[pc]
+                opcode = ins[0]
+                freq[opcode] += executed
+                charges = _STATIC_CHARGES[opcode]
+                if charges is None:
+                    counts[ins[4]] += executed
+                else:
+                    for category in charges:
+                        counts[category] += executed
+                sites[pc] = 0
 
     def instruction_frequencies(self) -> Dict[str, int]:
         """Dynamic instruction frequencies, most-executed first."""
@@ -731,6 +1181,10 @@ class VirtualMachine:
             return
         for name, count in self.instruction_frequencies().items():
             registry.bump("vm.instr.freq." + name, count)
+        if self.program.fused:
+            registry.bump("vm.fusion.sites", self.program.fused_sites)
+            executed = sum(self.opcode_counts[op] for op in FUSED_OPCODES)
+            registry.bump("vm.fusion.executed", executed)
         registry.observe("vm.run.seconds", self.metrics.wall_time_seconds)
 
     # -- calls ------------------------------------------------------------
@@ -760,8 +1214,17 @@ class VirtualMachine:
             return self._apply_closure(result, outcome.extra_args)
         return result
 
-    # -- the interpreter loop ---------------------------------------------
+    # -- the interpreter loops --------------------------------------------
     def _exec(self, fn: BytecodeFunction, args: List[object]) -> object:
+        """Dispatch-mode router; both loops share the calling convention
+        (and hence this entry point) with the old recursive executor."""
+        if self.dispatch == "threaded":
+            return self._run_threaded(fn, args)
+        return self._run_switch(fn, args)
+
+    def _run_switch(self, fn: BytecodeFunction, args: List[object]) -> object:
+        """The tuple-decoding oracle loop.  ``call``/``ret`` push and pop
+        explicit ``(code, regs, return pc, return register)`` frames."""
         fault_hit("vm.dispatch")
         if len(args) != fn.num_params:
             raise self._error(
@@ -777,6 +1240,7 @@ class VirtualMachine:
         budget = self.budget
         if budget is not None:
             budget.charge()
+        stack: List[Tuple] = []
         pc = 0
         while True:
             ins = code[pc]
@@ -788,6 +1252,23 @@ class VirtualMachine:
             elif opcode == OP_CMP:
                 counts["arith"] += 1
                 regs[ins[1]] = ins[2](regs[ins[3]], regs[ins[4]])
+            elif opcode == OP_CMP_CONDBR:
+                counts["arith"] += 1
+                value = ins[2](regs[ins[3]], regs[ins[4]])
+                regs[ins[1]] = value
+                counts["branch"] += 1
+                if budget is not None:
+                    budget.charge()
+                if value:
+                    target, srcs, dsts = ins[5], ins[6], ins[7]
+                else:
+                    target, srcs, dsts = ins[8], ins[9], ins[10]
+                if srcs:
+                    values = [regs[s] for s in srcs]
+                    for dst, value in zip(dsts, values):
+                        regs[dst] = value
+                pc = target
+                continue
             elif opcode == OP_JMP:
                 counts["jump"] += 1
                 if budget is not None:
@@ -831,14 +1312,83 @@ class VirtualMachine:
                     budget.charge()
                 pc = ins[2].get(regs[ins[1]], ins[3])
                 continue
+            elif opcode == OP_GETLABEL_SWITCH:
+                counts["getlabel"] += 1
+                tag = tag_of(regs[ins[2]])
+                regs[ins[1]] = tag
+                counts["branch"] += 1
+                if budget is not None:
+                    budget.charge()
+                pc = ins[3].get(tag, ins[4])
+                continue
+            elif opcode == OP_CONST_CMP_CONDBR:
+                counts["const"] += 1
+                regs[ins[1]] = ins[2]
+                counts["arith"] += 1
+                value = ins[4](regs[ins[5]], regs[ins[6]])
+                regs[ins[3]] = value
+                counts["branch"] += 1
+                if budget is not None:
+                    budget.charge()
+                if value:
+                    target, srcs, dsts = ins[7], ins[8], ins[9]
+                else:
+                    target, srcs, dsts = ins[10], ins[11], ins[12]
+                if srcs:
+                    values = [regs[s] for s in srcs]
+                    for dst, value in zip(dsts, values):
+                        regs[dst] = value
+                pc = target
+                continue
+            elif opcode == OP_GETLABEL_CMP_CONDBR:
+                counts["getlabel"] += 1
+                tag = tag_of(regs[ins[2]])
+                regs[ins[1]] = tag
+                counts["const"] += 1
+                regs[ins[3]] = ins[4]
+                counts["arith"] += 1
+                value = ins[6](regs[ins[7]], regs[ins[8]])
+                regs[ins[5]] = value
+                counts["branch"] += 1
+                if budget is not None:
+                    budget.charge()
+                if value:
+                    target, srcs, dsts = ins[9], ins[10], ins[11]
+                else:
+                    target, srcs, dsts = ins[12], ins[13], ins[14]
+                if srcs:
+                    values = [regs[s] for s in srcs]
+                    for dst, value in zip(dsts, values):
+                        regs[dst] = value
+                pc = target
+                continue
             elif opcode == OP_CALL:
                 counts["call"] += 1
-                value = self._exec(ins[2], [regs[r] for r in ins[3]])
-                if ins[1] >= 0:
-                    regs[ins[1]] = value
+                callee = ins[2]
+                cargs = [regs[r] for r in ins[3]]
+                fault_hit("vm.dispatch")
+                if len(cargs) != callee.num_params:
+                    raise self._error(
+                        f"calling {callee.name} with {len(cargs)} arguments, "
+                        f"expected {callee.num_params}"
+                    )
+                if budget is not None:
+                    budget.charge()
+                stack.append((code, regs, pc + 1, ins[1]))
+                code = callee.code
+                regs = [None] * callee.num_regs
+                regs[: callee.num_params] = cargs
+                pc = 0
+                continue
             elif opcode == OP_RET:
                 counts["return"] += 1
-                return regs[ins[1]] if ins[1] >= 0 else None
+                value = regs[ins[1]] if ins[1] >= 0 else None
+                if not stack:
+                    return value
+                code, regs, pc, dst = stack.pop()
+                if dst >= 0:
+                    regs[dst] = value
+                continue
             elif opcode == OP_PROJ:
                 counts["proj"] += 1
                 value = regs[ins[2]]
@@ -848,6 +1398,32 @@ class VirtualMachine:
                 heap.inc(field)
                 counts["rc"] += 1
                 regs[ins[1]] = field
+            elif opcode == OP_PROJ_CALL:
+                counts["proj"] += 1
+                value = regs[ins[2]]
+                if not isinstance(value, CtorObject):
+                    raise self._error(f"projection from non-constructor {value!r}")
+                field = value.fields[ins[3]]
+                heap.inc(field)
+                counts["rc"] += 1
+                regs[ins[1]] = field
+                counts["call"] += 1
+                callee = ins[5]
+                cargs = [regs[r] for r in ins[6]]
+                fault_hit("vm.dispatch")
+                if len(cargs) != callee.num_params:
+                    raise self._error(
+                        f"calling {callee.name} with {len(cargs)} arguments, "
+                        f"expected {callee.num_params}"
+                    )
+                if budget is not None:
+                    budget.charge()
+                stack.append((code, regs, pc + 1, ins[4]))
+                code = callee.code
+                regs = [None] * callee.num_regs
+                regs[: callee.num_params] = cargs
+                pc = 0
+                continue
             elif opcode == OP_CONSTRUCT:
                 counts[ins[4]] += 1
                 regs[ins[1]] = heap.alloc_ctor(ins[2], [regs[r] for r in ins[3]])
@@ -857,6 +1433,11 @@ class VirtualMachine:
             elif opcode == OP_CONST:
                 counts["const"] += 1
                 regs[ins[1]] = ins[2]
+            elif opcode == OP_CONST_BINARITH or opcode == OP_CONST_CMP:
+                counts["const"] += 1
+                regs[ins[1]] = ins[2]
+                counts["arith"] += 1
+                regs[ins[3]] = ins[4](regs[ins[5]], regs[ins[6]])
             elif opcode == OP_GETLABEL:
                 counts["getlabel"] += 1
                 regs[ins[1]] = tag_of(regs[ins[2]])
@@ -866,6 +1447,59 @@ class VirtualMachine:
             elif opcode == OP_DEC:
                 counts["rc"] += 1
                 heap.dec(regs[ins[1]], ins[2])
+            elif opcode == OP_PROJ_PROJ:
+                counts["proj"] += 1
+                value = regs[ins[2]]
+                if not isinstance(value, CtorObject):
+                    raise self._error(f"projection from non-constructor {value!r}")
+                field = value.fields[ins[3]]
+                heap.inc(field)
+                counts["rc"] += 1
+                regs[ins[1]] = field
+                counts["proj"] += 1
+                value = regs[ins[5]]
+                if not isinstance(value, CtorObject):
+                    raise self._error(f"projection from non-constructor {value!r}")
+                field = value.fields[ins[6]]
+                heap.inc(field)
+                counts["rc"] += 1
+                regs[ins[4]] = field
+            elif opcode == OP_INT_INC:
+                counts["move"] += 1
+                regs[ins[1]] = heap.alloc_int(ins[2])
+                counts["rc"] += 1
+                heap.inc(regs[ins[3]], ins[4])
+            elif opcode == OP_DEC_DEC:
+                counts["rc"] += 1
+                heap.dec(regs[ins[1]], ins[2])
+                counts["rc"] += 1
+                heap.dec(regs[ins[3]], ins[4])
+            elif opcode == OP_DEC_INC:
+                counts["rc"] += 1
+                heap.dec(regs[ins[1]], ins[2])
+                counts["rc"] += 1
+                heap.inc(regs[ins[3]], ins[4])
+            elif opcode == OP_PROJ3 or opcode == OP_PROJ4:
+                base = 1
+                while base < len(ins):
+                    counts["proj"] += 1
+                    value = regs[ins[base + 1]]
+                    if not isinstance(value, CtorObject):
+                        raise self._error(
+                            f"projection from non-constructor {value!r}"
+                        )
+                    field = value.fields[ins[base + 2]]
+                    heap.inc(field)
+                    counts["rc"] += 1
+                    regs[ins[base]] = field
+                    base += 3
+            elif opcode == OP_INC_RTCALL:
+                counts["rc"] += 1
+                heap.inc(regs[ins[1]], ins[2])
+                counts["runtime_call"] += 1
+                regs[ins[3]] = call_builtin(
+                    self.ctx, ins[4], [regs[r] for r in ins[5]]
+                )
             elif opcode == OP_SELECT:
                 counts["arith"] += 1
                 regs[ins[1]] = regs[ins[3]] if regs[ins[2]] else regs[ins[4]]
@@ -918,6 +1552,682 @@ class VirtualMachine:
                 raise self._error(f"invalid opcode {opcode}")
             pc += 1
 
+    def _run_threaded(self, fn: BytecodeFunction, args: List[object]) -> object:
+        """The direct-threaded loop: ``pc = ops[pc](regs)``.
+
+        Every instruction is a closure built by :meth:`_compile_threaded`
+        with its operands bound as defaults; it bumps its site counter and
+        returns the next pc.  Two negative sentinels thread control back:
+        ``-1`` returns (value in ``self._retslot``), ``-2`` calls (callee,
+        args and destination in ``self._pending``), and the loop pushes /
+        pops explicit ``(ops, regs, return pc, return register)`` frames.
+        """
+        fault_hit("vm.dispatch")
+        if len(args) != fn.num_params:
+            raise self._error(
+                f"calling {fn.name} with {len(args)} arguments, "
+                f"expected {fn.num_params}"
+            )
+        threaded = self._threaded
+        ops = threaded.get(fn)
+        if ops is None:
+            ops = self._compile_threaded(fn)
+        regs = [None] * fn.num_regs
+        regs[: fn.num_params] = args
+        budget = self.budget
+        if budget is not None:
+            budget.charge()
+        pending = self._pending
+        retslot = self._retslot
+        stack: List[Tuple] = []
+        pc = 0
+        while True:
+            next_pc = ops[pc](regs)
+            if next_pc >= 0:
+                pc = next_pc
+                continue
+            if next_pc == -2:
+                # Arity was checked when the call site's closure was
+                # built (it is static per site); mismatched sites compile
+                # to closures that raise instead of returning -2.
+                callee = pending[0]
+                fault_hit("vm.dispatch")
+                cargs = pending[1]
+                if budget is not None:
+                    budget.charge()
+                stack.append((ops, regs, pc + 1, pending[2]))
+                ops = threaded.get(callee)
+                if ops is None:
+                    ops = self._compile_threaded(callee)
+                regs = [None] * callee.num_regs
+                regs[: callee.num_params] = cargs
+                pc = 0
+                continue
+            value = retslot[0]
+            retslot[0] = None
+            if not stack:
+                return value
+            ops, regs, pc, dst = stack.pop()
+            if dst >= 0:
+                regs[dst] = value
+
+    def _compile_threaded(self, fn: BytecodeFunction) -> List[Callable]:
+        """Translate ``fn.code`` into the closure array the threaded loop
+        runs, registering its per-site execution counters.
+
+        Closures bind everything through default arguments (locals, not
+        cell lookups) and do no cost accounting beyond one list increment:
+        charges and frequencies are derived from :data:`_STATIC_CHARGES`
+        at flush time.  Only the genuinely dynamic charges (``reuse``
+        tokens, closure application) and the partial-charge error
+        corrections touch the counter dict while running.
+        """
+        code = fn.code
+        sites = [0] * len(code)
+        ops: List[Callable] = [None] * len(code)
+        counts = self._counts
+        ctx = self.ctx
+        heap = ctx.heap
+        charge = self.budget.charge if self.budget is not None else None
+        pending = self._pending
+        retslot = self._retslot
+        error = self._error
+        globals_ = self.globals
+        flavor = self.program.flavor
+        for pc, ins in enumerate(code):
+            opcode = ins[0]
+            nxt = pc + 1
+            if opcode == OP_BINARITH or opcode == OP_CMP:
+                def op(regs, s=sites, i=pc, d=ins[1], f=ins[2], a=ins[3],
+                       b=ins[4], n=nxt):
+                    s[i] += 1
+                    regs[d] = f(regs[a], regs[b])
+                    return n
+            elif opcode == OP_CMP_CONDBR:
+                if not ins[6] and not ins[9]:
+                    def op(regs, s=sites, i=pc, d=ins[1], f=ins[2], a=ins[3],
+                           b=ins[4], tpc=ins[5], fpc=ins[8], ch=charge):
+                        s[i] += 1
+                        value = f(regs[a], regs[b])
+                        regs[d] = value
+                        if ch is not None:
+                            ch()
+                        return tpc if value else fpc
+                else:
+                    def op(regs, s=sites, i=pc, d=ins[1], f=ins[2], a=ins[3],
+                           b=ins[4], tpc=ins[5], ts=ins[6], td=ins[7],
+                           fpc=ins[8], fs=ins[9], fd=ins[10], ch=charge):
+                        s[i] += 1
+                        value = f(regs[a], regs[b])
+                        regs[d] = value
+                        if ch is not None:
+                            ch()
+                        if value:
+                            target, srcs, dsts = tpc, ts, td
+                        else:
+                            target, srcs, dsts = fpc, fs, fd
+                        if srcs:
+                            values = [regs[x] for x in srcs]
+                            for dst, moved in zip(dsts, values):
+                                regs[dst] = moved
+                        return target
+            elif opcode == OP_JMP:
+                if not ins[2]:
+                    def op(regs, s=sites, i=pc, t=ins[1], ch=charge):
+                        s[i] += 1
+                        if ch is not None:
+                            ch()
+                        return t
+                elif len(ins[2]) == 1:
+                    def op(regs, s=sites, i=pc, t=ins[1], a=ins[2][0],
+                           d=ins[3][0], ch=charge):
+                        s[i] += 1
+                        if ch is not None:
+                            ch()
+                        regs[d] = regs[a]
+                        return t
+                else:
+                    def op(regs, s=sites, i=pc, t=ins[1], srcs=ins[2],
+                           dsts=ins[3], ch=charge):
+                        s[i] += 1
+                        if ch is not None:
+                            ch()
+                        values = [regs[x] for x in srcs]
+                        for dst, moved in zip(dsts, values):
+                            regs[dst] = moved
+                        return t
+            elif opcode == OP_CONDBR:
+                if not ins[3] and not ins[6]:
+                    def op(regs, s=sites, i=pc, c=ins[1], tpc=ins[2],
+                           fpc=ins[5], ch=charge):
+                        s[i] += 1
+                        if ch is not None:
+                            ch()
+                        return tpc if regs[c] else fpc
+                else:
+                    def op(regs, s=sites, i=pc, c=ins[1], tpc=ins[2],
+                           ts=ins[3], td=ins[4], fpc=ins[5], fs=ins[6],
+                           fd=ins[7], ch=charge):
+                        s[i] += 1
+                        if ch is not None:
+                            ch()
+                        if regs[c]:
+                            target, srcs, dsts = tpc, ts, td
+                        else:
+                            target, srcs, dsts = fpc, fs, fd
+                        if srcs:
+                            values = [regs[x] for x in srcs]
+                            for dst, moved in zip(dsts, values):
+                                regs[dst] = moved
+                        return target
+            elif opcode == OP_CASE:
+                def op(regs, s=sites, i=pc, src=ins[1], table=ins[2],
+                       default=ins[3], ch=charge, err=error, tg=tag_of):
+                    s[i] += 1
+                    tag = tg(regs[src])
+                    target = table.get(tag, default)
+                    if target is None:
+                        raise err(f"no alternative for tag {tag} in case")
+                    if ch is not None:
+                        ch()
+                    return target
+            elif opcode == OP_SWITCH:
+                def op(regs, s=sites, i=pc, flag=ins[1], table=ins[2],
+                       default=ins[3], ch=charge):
+                    s[i] += 1
+                    if ch is not None:
+                        ch()
+                    return table.get(regs[flag], default)
+            elif opcode == OP_GETLABEL_SWITCH:
+                def op(regs, s=sites, i=pc, d=ins[1], src=ins[2],
+                       table=ins[3], default=ins[4], ch=charge, cnt=counts,
+                       tg=tag_of):
+                    s[i] += 1
+                    try:
+                        tag = tg(regs[src])
+                    except RuntimeError_:
+                        # The unfused sequence charges getlabel but never
+                        # reaches the switch's branch charge.
+                        cnt["branch"] -= 1
+                        raise
+                    regs[d] = tag
+                    if ch is not None:
+                        ch()
+                    return table.get(tag, default)
+            elif opcode == OP_CONST_CMP_CONDBR:
+                if not ins[8] and not ins[11]:
+                    def op(regs, s=sites, i=pc, cd=ins[1], v=ins[2],
+                           d=ins[3], f=ins[4], a=ins[5], b=ins[6],
+                           tpc=ins[7], fpc=ins[10], ch=charge):
+                        s[i] += 1
+                        regs[cd] = v
+                        value = f(regs[a], regs[b])
+                        regs[d] = value
+                        if ch is not None:
+                            ch()
+                        return tpc if value else fpc
+                else:
+                    def op(regs, s=sites, i=pc, cd=ins[1], v=ins[2],
+                           d=ins[3], f=ins[4], a=ins[5], b=ins[6],
+                           tpc=ins[7], ts=ins[8], td=ins[9], fpc=ins[10],
+                           fs=ins[11], fd=ins[12], ch=charge):
+                        s[i] += 1
+                        regs[cd] = v
+                        value = f(regs[a], regs[b])
+                        regs[d] = value
+                        if ch is not None:
+                            ch()
+                        if value:
+                            target, srcs, dsts = tpc, ts, td
+                        else:
+                            target, srcs, dsts = fpc, fs, fd
+                        if srcs:
+                            values = [regs[x] for x in srcs]
+                            for dst, moved in zip(dsts, values):
+                                regs[dst] = moved
+                        return target
+            elif opcode == OP_GETLABEL_CMP_CONDBR:
+                if not ins[10] and not ins[13]:
+                    def op(regs, s=sites, i=pc, gd=ins[1], gsrc=ins[2],
+                           cd=ins[3], v=ins[4], d=ins[5], f=ins[6],
+                           a=ins[7], b=ins[8], tpc=ins[9], fpc=ins[12],
+                           ch=charge, cnt=counts, tg=tag_of):
+                        s[i] += 1
+                        try:
+                            tag = tg(regs[gsrc])
+                        except RuntimeError_:
+                            # The unfused sequence stops after getlabel.
+                            cnt["const"] -= 1
+                            cnt["arith"] -= 1
+                            cnt["branch"] -= 1
+                            raise
+                        regs[gd] = tag
+                        regs[cd] = v
+                        value = f(regs[a], regs[b])
+                        regs[d] = value
+                        if ch is not None:
+                            ch()
+                        return tpc if value else fpc
+                else:
+                    def op(regs, s=sites, i=pc, gd=ins[1], gsrc=ins[2],
+                           cd=ins[3], v=ins[4], d=ins[5], f=ins[6],
+                           a=ins[7], b=ins[8], tpc=ins[9], ts=ins[10],
+                           td=ins[11], fpc=ins[12], fs=ins[13], fd=ins[14],
+                           ch=charge, cnt=counts, tg=tag_of):
+                        s[i] += 1
+                        try:
+                            tag = tg(regs[gsrc])
+                        except RuntimeError_:
+                            cnt["const"] -= 1
+                            cnt["arith"] -= 1
+                            cnt["branch"] -= 1
+                            raise
+                        regs[gd] = tag
+                        regs[cd] = v
+                        value = f(regs[a], regs[b])
+                        regs[d] = value
+                        if ch is not None:
+                            ch()
+                        if value:
+                            target, srcs, dsts = tpc, ts, td
+                        else:
+                            target, srcs, dsts = fpc, fs, fd
+                        if srcs:
+                            values = [regs[x] for x in srcs]
+                            for dst, moved in zip(dsts, values):
+                                regs[dst] = moved
+                        return target
+            elif opcode == OP_PROJ_PROJ:
+                def op(regs, s=sites, i=pc, d1=ins[1], s1=ins[2], i1=ins[3],
+                       d2=ins[4], s2=ins[5], i2=ins[6], heap=heap,
+                       cnt=counts, err=error, ctor=CtorObject, n=nxt):
+                    s[i] += 1
+                    value = regs[s1]
+                    if not isinstance(value, ctor):
+                        # Unfused charge stops at the first proj.
+                        cnt["rc"] -= 2
+                        cnt["proj"] -= 1
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i1]
+                    heap.inc(field)
+                    regs[d1] = field
+                    value = regs[s2]
+                    if not isinstance(value, ctor):
+                        cnt["rc"] -= 1
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i2]
+                    heap.inc(field)
+                    regs[d2] = field
+                    return n
+            elif opcode == OP_INT_INC:
+                def op(regs, s=sites, i=pc, d=ins[1], v=ins[2], src=ins[3],
+                       k=ins[4], alloc=heap.alloc_int, inc=heap.inc, n=nxt):
+                    s[i] += 1
+                    regs[d] = alloc(v)
+                    inc(regs[src], k)
+                    return n
+            elif opcode == OP_DEC_DEC:
+                def op(regs, s=sites, i=pc, s1=ins[1], c1=ins[2], s2=ins[3],
+                       c2=ins[4], dec=heap.dec, cnt=counts, n=nxt):
+                    s[i] += 1
+                    try:
+                        dec(regs[s1], c1)
+                    except RuntimeError_:
+                        # Unfused charge stops at the first dec.
+                        cnt["rc"] -= 1
+                        raise
+                    dec(regs[s2], c2)
+                    return n
+            elif opcode == OP_DEC_INC:
+                def op(regs, s=sites, i=pc, s1=ins[1], c1=ins[2], s2=ins[3],
+                       c2=ins[4], dec=heap.dec, inc=heap.inc, cnt=counts,
+                       n=nxt):
+                    s[i] += 1
+                    try:
+                        dec(regs[s1], c1)
+                    except RuntimeError_:
+                        # Unfused charge stops at the dec.
+                        cnt["rc"] -= 1
+                        raise
+                    inc(regs[s2], c2)
+                    return n
+            elif opcode == OP_PROJ3:
+                def op(regs, s=sites, i=pc, d1=ins[1], s1=ins[2], i1=ins[3],
+                       d2=ins[4], s2=ins[5], i2=ins[6], d3=ins[7], s3=ins[8],
+                       i3=ins[9], heap=heap, cnt=counts, err=error,
+                       ctor=CtorObject, n=nxt):
+                    s[i] += 1
+                    value = regs[s1]
+                    if not isinstance(value, ctor):
+                        # Unfused charge stops at the failing proj.
+                        cnt["proj"] -= 2
+                        cnt["rc"] -= 3
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i1]
+                    heap.inc(field)
+                    regs[d1] = field
+                    value = regs[s2]
+                    if not isinstance(value, ctor):
+                        cnt["proj"] -= 1
+                        cnt["rc"] -= 2
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i2]
+                    heap.inc(field)
+                    regs[d2] = field
+                    value = regs[s3]
+                    if not isinstance(value, ctor):
+                        cnt["rc"] -= 1
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i3]
+                    heap.inc(field)
+                    regs[d3] = field
+                    return n
+            elif opcode == OP_PROJ4:
+                def op(regs, s=sites, i=pc, d1=ins[1], s1=ins[2], i1=ins[3],
+                       d2=ins[4], s2=ins[5], i2=ins[6], d3=ins[7], s3=ins[8],
+                       i3=ins[9], d4=ins[10], s4=ins[11], i4=ins[12],
+                       heap=heap, cnt=counts, err=error, ctor=CtorObject,
+                       n=nxt):
+                    s[i] += 1
+                    value = regs[s1]
+                    if not isinstance(value, ctor):
+                        # Unfused charge stops at the failing proj.
+                        cnt["proj"] -= 3
+                        cnt["rc"] -= 4
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i1]
+                    heap.inc(field)
+                    regs[d1] = field
+                    value = regs[s2]
+                    if not isinstance(value, ctor):
+                        cnt["proj"] -= 2
+                        cnt["rc"] -= 3
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i2]
+                    heap.inc(field)
+                    regs[d2] = field
+                    value = regs[s3]
+                    if not isinstance(value, ctor):
+                        cnt["proj"] -= 1
+                        cnt["rc"] -= 2
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i3]
+                    heap.inc(field)
+                    regs[d3] = field
+                    value = regs[s4]
+                    if not isinstance(value, ctor):
+                        cnt["rc"] -= 1
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[i4]
+                    heap.inc(field)
+                    regs[d4] = field
+                    return n
+            elif opcode == OP_INC_RTCALL:
+                impl = BUILTINS.get(ins[4])
+                if impl is not None:
+                    def op(regs, s=sites, i=pc, src=ins[1], k=ins[2],
+                           d=ins[3], fn_=impl, argr=ins[5], inc=heap.inc,
+                           ctx=ctx, cnt=counts, n=nxt):
+                        s[i] += 1
+                        try:
+                            inc(regs[src], k)
+                        except RuntimeError_:
+                            # Unfused charge stops at the inc.
+                            cnt["runtime_call"] -= 1
+                            raise
+                        regs[d] = fn_(ctx, [regs[r] for r in argr])
+                        return n
+                else:
+                    def op(regs, s=sites, i=pc, src=ins[1], k=ins[2],
+                           d=ins[3], name=ins[4], argr=ins[5], inc=heap.inc,
+                           ctx=ctx, cb=call_builtin, cnt=counts, n=nxt):
+                        s[i] += 1
+                        try:
+                            inc(regs[src], k)
+                        except RuntimeError_:
+                            cnt["runtime_call"] -= 1
+                            raise
+                        regs[d] = cb(ctx, name, [regs[r] for r in argr])
+                        return n
+            elif opcode == OP_RET:
+                if ins[1] >= 0:
+                    def op(regs, s=sites, i=pc, src=ins[1], ret=retslot):
+                        s[i] += 1
+                        ret[0] = regs[src]
+                        return -1
+                else:
+                    def op(regs, s=sites, i=pc, ret=retslot):
+                        s[i] += 1
+                        ret[0] = None
+                        return -1
+            elif opcode == OP_CALL:
+                if len(ins[3]) != ins[2].num_params:
+                    # Static arity mismatch: raise at execution time with
+                    # the loop's exact fault/error ordering.
+                    def op(regs, s=sites, i=pc, callee=ins[2],
+                           argc=len(ins[3]), err=error, fh=fault_hit):
+                        s[i] += 1
+                        fh("vm.dispatch")
+                        raise err(
+                            f"calling {callee.name} with {argc} arguments, "
+                            f"expected {callee.num_params}"
+                        )
+                else:
+                    def op(regs, s=sites, i=pc, d=ins[1], callee=ins[2],
+                           argr=ins[3], pend=pending):
+                        s[i] += 1
+                        pend[0] = callee
+                        pend[1] = [regs[r] for r in argr]
+                        pend[2] = d
+                        return -2
+            elif opcode == OP_PROJ:
+                def op(regs, s=sites, i=pc, d=ins[1], src=ins[2], idx=ins[3],
+                       heap=heap, cnt=counts, err=error, ctor=CtorObject,
+                       n=nxt):
+                    s[i] += 1
+                    value = regs[src]
+                    if not isinstance(value, ctor):
+                        # The unfused charge stops at proj on this error.
+                        cnt["rc"] -= 1
+                        raise err(f"projection from non-constructor {value!r}")
+                    field = value.fields[idx]
+                    heap.inc(field)
+                    regs[d] = field
+                    return n
+            elif opcode == OP_PROJ_CALL:
+                if len(ins[6]) != ins[5].num_params:
+                    def op(regs, s=sites, i=pc, pd=ins[1], src=ins[2],
+                           idx=ins[3], callee=ins[5], argc=len(ins[6]),
+                           heap=heap, cnt=counts, err=error,
+                           ctor=CtorObject, fh=fault_hit):
+                        s[i] += 1
+                        value = regs[src]
+                        if not isinstance(value, ctor):
+                            cnt["rc"] -= 1
+                            cnt["call"] -= 1
+                            raise err(
+                                f"projection from non-constructor {value!r}"
+                            )
+                        field = value.fields[idx]
+                        heap.inc(field)
+                        regs[pd] = field
+                        fh("vm.dispatch")
+                        raise err(
+                            f"calling {callee.name} with {argc} arguments, "
+                            f"expected {callee.num_params}"
+                        )
+                else:
+                    def op(regs, s=sites, i=pc, pd=ins[1], src=ins[2],
+                           idx=ins[3], cd=ins[4], callee=ins[5], argr=ins[6],
+                           heap=heap, cnt=counts, err=error, ctor=CtorObject,
+                           pend=pending):
+                        s[i] += 1
+                        value = regs[src]
+                        if not isinstance(value, ctor):
+                            cnt["rc"] -= 1
+                            cnt["call"] -= 1
+                            raise err(f"projection from non-constructor {value!r}")
+                        field = value.fields[idx]
+                        heap.inc(field)
+                        regs[pd] = field
+                        pend[0] = callee
+                        pend[1] = [regs[r] for r in argr]
+                        pend[2] = cd
+                        return -2
+            elif opcode == OP_CONSTRUCT:
+                def op(regs, s=sites, i=pc, d=ins[1], tag=ins[2], fr=ins[3],
+                       alloc=heap.alloc_ctor, n=nxt):
+                    s[i] += 1
+                    regs[d] = alloc(tag, [regs[r] for r in fr])
+                    return n
+            elif opcode == OP_INT or opcode == OP_BIGINT:
+                def op(regs, s=sites, i=pc, d=ins[1], v=ins[2],
+                       alloc=heap.alloc_int, n=nxt):
+                    s[i] += 1
+                    regs[d] = alloc(v)
+                    return n
+            elif opcode == OP_CONST:
+                def op(regs, s=sites, i=pc, d=ins[1], v=ins[2], n=nxt):
+                    s[i] += 1
+                    regs[d] = v
+                    return n
+            elif opcode == OP_CONST_BINARITH or opcode == OP_CONST_CMP:
+                def op(regs, s=sites, i=pc, cd=ins[1], v=ins[2], d=ins[3],
+                       f=ins[4], a=ins[5], b=ins[6], n=nxt):
+                    s[i] += 1
+                    regs[cd] = v
+                    regs[d] = f(regs[a], regs[b])
+                    return n
+            elif opcode == OP_GETLABEL:
+                def op(regs, s=sites, i=pc, d=ins[1], src=ins[2], tg=tag_of,
+                       n=nxt):
+                    s[i] += 1
+                    regs[d] = tg(regs[src])
+                    return n
+            elif opcode == OP_INC:
+                def op(regs, s=sites, i=pc, src=ins[1], k=ins[2],
+                       inc=heap.inc, n=nxt):
+                    s[i] += 1
+                    inc(regs[src], k)
+                    return n
+            elif opcode == OP_DEC:
+                def op(regs, s=sites, i=pc, src=ins[1], k=ins[2],
+                       dec=heap.dec, n=nxt):
+                    s[i] += 1
+                    dec(regs[src], k)
+                    return n
+            elif opcode == OP_SELECT:
+                def op(regs, s=sites, i=pc, d=ins[1], c=ins[2], a=ins[3],
+                       b=ins[4], n=nxt):
+                    s[i] += 1
+                    regs[d] = regs[a] if regs[c] else regs[b]
+                    return n
+            elif opcode == OP_RTCALL:
+                # Pre-resolve the builtin: BUILTINS is sealed at import
+                # time, so the per-call name lookup in call_builtin is
+                # dead weight on the hot path.  Unknown names keep the
+                # lazy call_builtin error.
+                impl = BUILTINS.get(ins[2])
+                if impl is not None and ins[1] >= 0:
+                    def op(regs, s=sites, i=pc, d=ins[1], fn_=impl,
+                           argr=ins[3], ctx=ctx, n=nxt):
+                        s[i] += 1
+                        regs[d] = fn_(ctx, [regs[r] for r in argr])
+                        return n
+                elif impl is not None:
+                    def op(regs, s=sites, i=pc, fn_=impl, argr=ins[3],
+                           ctx=ctx, n=nxt):
+                        s[i] += 1
+                        fn_(ctx, [regs[r] for r in argr])
+                        return n
+                elif ins[1] >= 0:
+                    def op(regs, s=sites, i=pc, d=ins[1], name=ins[2],
+                           argr=ins[3], ctx=ctx, cb=call_builtin, n=nxt):
+                        s[i] += 1
+                        regs[d] = cb(ctx, name, [regs[r] for r in argr])
+                        return n
+                else:
+                    def op(regs, s=sites, i=pc, name=ins[2], argr=ins[3],
+                           ctx=ctx, cb=call_builtin, n=nxt):
+                        s[i] += 1
+                        cb(ctx, name, [regs[r] for r in argr])
+                        return n
+            elif opcode == OP_PAP:
+                if ins[3] is None:
+                    def op(regs, s=sites, i=pc, name=ins[2], err=error):
+                        s[i] += 1
+                        raise err(f"pap of unknown function {name}")
+                else:
+                    def op(regs, s=sites, i=pc, d=ins[1], name=ins[2],
+                           arity=ins[3], argr=ins[4], heap=heap,
+                           mk=make_closure, n=nxt):
+                        s[i] += 1
+                        regs[d] = mk(heap, name, arity, [regs[r] for r in argr])
+                        return n
+            elif opcode == OP_PAPEXTEND:
+                def op(regs, s=sites, i=pc, d=ins[1], c=ins[2], argr=ins[3],
+                       apply=self._apply_closure, n=nxt):
+                    s[i] += 1
+                    regs[d] = apply(regs[c], [regs[r] for r in argr])
+                    return n
+            elif opcode == OP_REUSE:
+                category = "alloc_ctor" if ins[4] else "move"
+                def op(regs, s=sites, i=pc, d=ins[1], tok=ins[2], tag=ins[3],
+                       fr=ins[4], heap=heap, cnt=counts, cat=category,
+                       ctor=CtorObject, n=nxt):
+                    s[i] += 1
+                    token = regs[tok]
+                    fields = [regs[r] for r in fr]
+                    if isinstance(token, ctor):
+                        cnt["reuse"] += 1
+                    else:
+                        cnt[cat] += 1
+                    regs[d] = heap.reuse(token, tag, fields)
+                    return n
+            elif opcode == OP_RESET:
+                def op(regs, s=sites, i=pc, d=ins[1], src=ins[2],
+                       reset=heap.reset, n=nxt):
+                    s[i] += 1
+                    regs[d] = reset(regs[src])
+                    return n
+            elif opcode == OP_CAST:
+                def op(regs, s=sites, i=pc, d=ins[1], src=ins[2], n=nxt):
+                    s[i] += 1
+                    regs[d] = regs[src]
+                    return n
+            elif opcode == OP_GETGLOBAL:
+                def op(regs, s=sites, i=pc, d=ins[1], name=ins[2],
+                       g=globals_, n=nxt):
+                    s[i] += 1
+                    regs[d] = g.get(name)
+                    return n
+            elif opcode == OP_SETGLOBAL:
+                def op(regs, s=sites, i=pc, name=ins[1], src=ins[2],
+                       g=globals_, n=nxt):
+                    s[i] += 1
+                    g[name] = regs[src]
+                    return n
+            elif opcode == OP_UNREACHABLE:
+                def op(regs, s=sites, i=pc, err=error, msg=ins[1]):
+                    s[i] += 1
+                    raise err(msg)
+            elif opcode == OP_BADCALL:
+                if flavor == "cfg":
+                    message = f"call of unknown function @{ins[1]}"
+                else:
+                    message = f"unknown function {ins[1]}"
+                def op(regs, s=sites, i=pc, err=error, msg=message):
+                    s[i] += 1
+                    raise err(msg)
+            else:
+                def op(regs, s=sites, i=pc, err=error, bad=opcode):
+                    s[i] += 1
+                    raise err(f"invalid opcode {bad}")
+            ops[pc] = op
+        self._threaded[fn] = ops
+        self._site_tables[fn] = sites
+        return ops
+
 
 # ---------------------------------------------------------------------------
 # Convenience wrappers (mirror run_cfg_module / run_rc_program)
@@ -925,14 +2235,29 @@ class VirtualMachine:
 
 
 def run_cfg_module_vm(
-    module: ModuleOp, *, main: str = "main", check_heap: bool = True
+    module: ModuleOp,
+    *,
+    main: str = "main",
+    check_heap: bool = True,
+    dispatch: str = "threaded",
+    fuse: bool = True,
 ) -> RunResult:
     """Compile ``module`` to bytecode and execute ``@main`` on the VM."""
-    return VirtualMachine(compile_cfg_module(module, main=main)).run_main(
+    program = compile_cfg_module(module, main=main, fuse=fuse)
+    return VirtualMachine(program, dispatch=dispatch).run_main(
         check_heap=check_heap
     )
 
 
-def run_rc_program_vm(program: rc_ir.Program, *, check_heap: bool = True) -> RunResult:
+def run_rc_program_vm(
+    program: rc_ir.Program,
+    *,
+    check_heap: bool = True,
+    dispatch: str = "threaded",
+    fuse: bool = True,
+) -> RunResult:
     """Compile a λrc ``program`` to bytecode and execute its main on the VM."""
-    return VirtualMachine(compile_rc_program(program)).run_main(check_heap=check_heap)
+    bytecode = compile_rc_program(program, fuse=fuse)
+    return VirtualMachine(bytecode, dispatch=dispatch).run_main(
+        check_heap=check_heap
+    )

@@ -1,4 +1,4 @@
-"""Scoped recursion-limit management shared by all execution engines.
+"""Scoped recursion-limit management for the tree-walking interpreters.
 
 Deeply recursive generated programs need more Python stack than the
 default ``sys.getrecursionlimit()`` allows.  The engines historically
@@ -8,6 +8,12 @@ everything that ran afterwards (including tests asserting on recursion
 behaviour).  :func:`recursion_limit` scopes the raise to one ``run_main``
 and restores the previous limit on exit — including when execution
 raises.
+
+Only the tree-walkers (``cfg_interp``, ``rc_interp``, ``reference``)
+use this module:
+the bytecode VM maintains an explicit call stack in both dispatch modes,
+so VM call depth is independent of the Python recursion limit and
+``interp/bytecode.py`` deliberately has no import of this helper.
 """
 
 from __future__ import annotations

@@ -75,6 +75,60 @@ class TestDialectReferenceDrift:
             )
 
 
+EXECUTION_MD = REPO_ROOT / "docs" / "EXECUTION.md"
+
+_TABLE_ROW_OPCODES = re.compile(r"^\| (`[^|]+`) \|", re.MULTILINE)
+_BACKTICKED = re.compile(r"`([^`]+)`")
+
+
+def documented_opcode_names() -> set:
+    """First-column backticked names from EXECUTION.md's instruction-set
+    and superinstruction tables (combined rows like ```inc` / `dec```
+    contribute every name)."""
+    text = EXECUTION_MD.read_text(encoding="utf-8")
+    names = set()
+    for section in ("## Superinstruction fusion", "## Instruction set"):
+        start = text.index(section)
+        end = text.index("\n## ", start + 1)
+        for cell in _TABLE_ROW_OPCODES.findall(text[start:end]):
+            names.update(_BACKTICKED.findall(cell))
+    return names
+
+
+class TestExecutionReferenceDrift:
+    """docs/EXECUTION.md cannot drift from the VM's opcode set — in
+    either direction, fused opcodes included."""
+
+    def test_execution_md_exists(self):
+        assert EXECUTION_MD.is_file(), "docs/EXECUTION.md is missing"
+
+    def test_every_opcode_is_documented(self):
+        from repro.interp.bytecode import OPCODE_NAMES
+
+        missing = sorted(set(OPCODE_NAMES.values()) - documented_opcode_names())
+        assert not missing, (
+            "opcodes defined in interp/bytecode.py but absent from "
+            f"docs/EXECUTION.md: {missing}"
+        )
+
+    def test_every_documented_opcode_exists(self):
+        from repro.interp.bytecode import OPCODE_NAMES
+
+        stale = sorted(documented_opcode_names() - set(OPCODE_NAMES.values()))
+        assert not stale, (
+            f"docs/EXECUTION.md documents unknown opcodes: {stale}"
+        )
+
+    def test_every_fused_opcode_documents_its_expansion(self):
+        from repro.interp.bytecode import FUSED_OPCODE_BASES
+
+        text = EXECUTION_MD.read_text(encoding="utf-8")
+        for fused in FUSED_OPCODE_BASES:
+            assert f"`{fused}`" in text, (
+                f"fused opcode {fused!r} missing from docs/EXECUTION.md"
+            )
+
+
 class TestIntraRepoLinks:
     @pytest.mark.parametrize(
         "doc", LINKED_DOCS, ids=[str(p.relative_to(REPO_ROOT)) for p in LINKED_DOCS]

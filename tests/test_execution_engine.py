@@ -53,11 +53,33 @@ from repro.interp.bytecode import (
     OP_SWITCH,
     OP_UNREACHABLE,
     OP_BINARITH,
+    OP_CMP_CONDBR,
+    OP_CONST_BINARITH,
+    OP_CONST_CMP,
+    OP_CONST_CMP_CONDBR,
+    OP_DEC_DEC,
+    OP_DEC_INC,
+    OP_GETLABEL_CMP_CONDBR,
+    OP_GETLABEL_SWITCH,
+    OP_INC_RTCALL,
+    OP_INT_INC,
+    OP_PROJ3,
+    OP_PROJ4,
+    OP_PROJ_CALL,
+    OP_PROJ_PROJ,
+    DISPATCH_MODES,
+    FUSED_OPCODE_BASES,
+    FUSION_RULES,
+    OPCODE_NAMES,
+    BytecodeFunction,
     BytecodeProgram,
     VirtualMachine,
     compile_cfg_module,
     compile_rc_program,
+    fuse_code,
+    fuse_program,
 )
+from repro.interp.bytecode import _BINARY_FNS, _CMP_FNS
 from repro.interp.cfg_interp import CfgInterpreter, CfgInterpreterError
 from repro.interp.rc_interp import RcInterpreter
 from repro.ir import Builder, FunctionType, InsertionPoint
@@ -594,3 +616,394 @@ class TestSwitchDispatchTable:
         assert result.value == 150
         for op, table in interpreter._switch_tables.items():
             assert table == dict(zip(op.case_values, op.case_dests))
+
+
+# ---------------------------------------------------------------------------
+# VM 2.0: superinstruction fusion, dispatch modes, the explicit call stack
+# ---------------------------------------------------------------------------
+
+
+def _vm_program(code, num_regs, *, num_params=0, extras=()):
+    """Hand-assemble a one-function cfg-flavour program for fusion units."""
+    program = BytecodeProgram("cfg")
+    fn = BytecodeFunction("main", num_params)
+    fn.num_regs = num_regs
+    fn.code = list(code)
+    program.functions["main"] = fn
+    for extra in extras:
+        program.functions[extra.name] = extra
+    return program
+
+
+def _identity_callee():
+    callee = BytecodeFunction("callee", 1)
+    callee.num_regs = 1
+    callee.code = [(OP_RET, 0)]
+    return callee
+
+
+_EQ = _CMP_FNS["eq"]
+_LT = _CMP_FNS["slt"]
+_ADD = _BINARY_FNS["arith.addi"]
+
+
+def _superinstruction_cases():
+    """(fused opcode, program factory, argument tuples) per fusion rule.
+
+    Every factory builds a program whose peephole-eligible pair (or
+    chain) covers one entry of ``FUSION_RULES``; the test below runs each
+    fused/unfused x threaded/switch and diffs the observables.
+    """
+    cases = []
+    cases.append((OP_CMP_CONDBR, lambda: _vm_program([
+        (OP_CMP, 2, _LT, 0, 1),
+        (OP_CONDBR, 2, 2, (), (), 4, (), ()),
+        (OP_CONST, 3, 42), (OP_RET, 3),
+        (OP_CONST, 3, 7), (OP_RET, 3),
+    ], 4, num_params=2), [(1, 2), (2, 1)]))
+    cases.append((OP_CONST_BINARITH, lambda: _vm_program([
+        (OP_CONST, 1, 5),
+        (OP_BINARITH, 2, _ADD, 0, 1),
+        (OP_RET, 2),
+    ], 3, num_params=1), [(4,)]))
+    cases.append((OP_CONST_CMP, lambda: _vm_program([
+        (OP_CONST, 1, 5),
+        (OP_CMP, 2, _EQ, 0, 1),
+        (OP_RET, 2),
+    ], 3, num_params=1), [(5,), (4,)]))
+    cases.append((OP_GETLABEL_SWITCH, lambda: _vm_program([
+        (OP_CONSTRUCT, 0, 1, (), "move"),
+        (OP_GETLABEL, 1, 0),
+        (OP_SWITCH, 1, {1: 3}, 5),
+        (OP_CONST, 2, 10), (OP_RET, 2),
+        (OP_CONST, 2, 20), (OP_RET, 2),
+    ], 3), [()]))
+    cases.append((OP_PROJ_CALL, lambda: _vm_program([
+        (OP_INT, 0, 3),
+        (OP_CONSTRUCT, 1, 1, (0,), "alloc_ctor"),
+        (OP_PROJ, 2, 1, 0),
+        (OP_CALL, 3, None, (2,)),  # callee patched below
+        (OP_RET, 3),
+    ], 4), [()]))
+    cases.append((OP_CONST_CMP_CONDBR, lambda: _vm_program([
+        (OP_CONST, 1, 5),
+        (OP_CMP, 2, _EQ, 0, 1),
+        (OP_CONDBR, 2, 3, (), (), 5, (), ()),
+        (OP_CONST, 3, 1), (OP_RET, 3),
+        (OP_CONST, 3, 0), (OP_RET, 3),
+    ], 4, num_params=1), [(5,), (6,)]))
+    cases.append((OP_GETLABEL_CMP_CONDBR, lambda: _vm_program([
+        (OP_CONSTRUCT, 0, 2, (), "move"),
+        (OP_GETLABEL, 1, 0),
+        (OP_CONST, 2, 2),
+        (OP_CMP, 3, _EQ, 1, 2),
+        (OP_CONDBR, 3, 5, (), (), 7, (), ()),
+        (OP_CONST, 4, 111), (OP_RET, 4),
+        (OP_CONST, 4, 222), (OP_RET, 4),
+    ], 5), [()]))
+    cases.append((OP_PROJ_PROJ, lambda: _vm_program([
+        (OP_INT, 0, 1), (OP_INT, 1, 2),
+        (OP_CONSTRUCT, 2, 1, (0, 1), "alloc_ctor"),
+        (OP_PROJ, 3, 2, 0),
+        (OP_PROJ, 4, 2, 1),
+        (OP_RET, 4),
+    ], 5), [()]))
+    cases.append((OP_PROJ3, lambda: _vm_program([
+        (OP_INT, 0, 1), (OP_INT, 1, 2), (OP_INT, 2, 3),
+        (OP_CONSTRUCT, 3, 1, (0, 1, 2), "alloc_ctor"),
+        (OP_PROJ, 4, 3, 0),
+        (OP_PROJ, 5, 3, 1),
+        (OP_PROJ, 6, 3, 2),
+        (OP_RET, 6),
+    ], 7), [()]))
+    cases.append((OP_PROJ4, lambda: _vm_program([
+        (OP_INT, 0, 1), (OP_INT, 1, 2), (OP_INT, 2, 3), (OP_INT, 3, 4),
+        (OP_CONSTRUCT, 4, 1, (0, 1, 2, 3), "alloc_ctor"),
+        (OP_PROJ, 5, 4, 0),
+        (OP_PROJ, 6, 4, 1),
+        (OP_PROJ, 7, 4, 2),
+        (OP_PROJ, 8, 4, 3),
+        (OP_RET, 8),
+    ], 9), [()]))
+    cases.append((OP_INT_INC, lambda: _vm_program([
+        (OP_INT, 0, 7),
+        (OP_INC, 0, 1),
+        (OP_RET, 0),
+    ], 1), [()]))
+    cases.append((OP_DEC_DEC, lambda: _vm_program([
+        (OP_INT, 0, 5), (OP_INT, 1, 6),
+        (OP_DEC, 0, 1),
+        (OP_DEC, 1, 1),
+        (OP_CONST, 2, 1), (OP_RET, 2),
+    ], 3), [()]))
+    cases.append((OP_DEC_INC, lambda: _vm_program([
+        (OP_INT, 0, 5), (OP_INT, 1, 6),
+        (OP_DEC, 0, 1),
+        (OP_INC, 1, 1),
+        (OP_RET, 1),
+    ], 2), [()]))
+    cases.append((OP_INC_RTCALL, lambda: _vm_program([
+        (OP_INT, 0, 5),
+        (OP_CONST, 1, 0),
+        (OP_INC, 0, 1),
+        (OP_RTCALL, 2, "lean_int_add", (0, 0)),
+        (OP_RET, 2),
+    ], 3), [()]))
+    return cases
+
+
+def _patch_callees(program):
+    """Bind OP_CALL placeholders to a real callee object."""
+    callee = _identity_callee()
+    program.functions[callee.name] = callee
+    fn = program.functions["main"]
+    fn.code = [
+        (ins[0], ins[1], callee, ins[3]) if ins[0] == OP_CALL and ins[2] is None
+        else ins
+        for ins in fn.code
+    ]
+    return program
+
+
+def _run_configs(factory, args):
+    """Run fused/unfused x threaded/switch and return the four results."""
+    results = {}
+    for fused in (False, True):
+        program = _patch_callees(factory())
+        if fused:
+            fuse_program(program)
+        for dispatch in DISPATCH_MODES:
+            vm = VirtualMachine(program, dispatch=dispatch)
+            try:
+                outcome = vm.run_main(list(args), check_heap=False)
+                results[(fused, dispatch)] = (
+                    "ok", outcome.value, vm.metrics.counts,
+                )
+            except Exception as error:
+                results[(fused, dispatch)] = (
+                    "error", str(error), vm.metrics.counts,
+                )
+    return results
+
+
+def _assert_configs_identical(factory, args):
+    results = _run_configs(factory, args)
+    reference = results[(False, "switch")]
+    for key, outcome in results.items():
+        assert outcome == reference, (key, outcome, reference)
+
+
+class TestSuperinstructions:
+    """One compilation + execution unit per entry of FUSION_RULES."""
+
+    CASES = _superinstruction_cases()
+
+    def test_every_fusion_rule_has_a_case(self):
+        assert {opcode for opcode, _, _ in self.CASES} == {
+            rule.opcode for rule in FUSION_RULES
+        }
+
+    @pytest.mark.parametrize(
+        "opcode,factory,arg_sets", CASES,
+        ids=[OPCODE_NAMES[opcode] for opcode, _, _ in CASES],
+    )
+    def test_pair_fuses_and_charges_identically(self, opcode, factory, arg_sets):
+        program = _patch_callees(factory())
+        before = [ins[0] for ins in program.functions["main"].code]
+        assert opcode not in before
+        fuse_program(program)
+        after = [ins[0] for ins in program.functions["main"].code]
+        assert opcode in after, OPCODE_NAMES[opcode]
+        assert program.fused and program.fused_sites > 0
+        for args in arg_sets:
+            _assert_configs_identical(factory, args)
+
+    def test_fused_opcode_bases_decompose_chains(self):
+        assert FUSED_OPCODE_BASES["getlabel_cmp_br"] == (
+            "getlabel", "const", "cmp", "cond_br"
+        )
+        assert FUSED_OPCODE_BASES["const_cmp_br"] == ("const", "cmp", "cond_br")
+        assert FUSED_OPCODE_BASES["proj3"] == ("proj",) * 3
+        assert FUSED_OPCODE_BASES["proj4"] == ("proj",) * 4
+        assert FUSED_OPCODE_BASES["dec_inc"] == ("dec", "inc")
+        for bases in FUSED_OPCODE_BASES.values():
+            base_names = set(OPCODE_NAMES.values()) - set(FUSED_OPCODE_BASES)
+            assert set(bases) <= base_names
+
+    def test_jump_target_blocks_fusion(self):
+        code = [
+            (OP_CMP, 2, _EQ, 0, 1),
+            (OP_CONDBR, 2, 3, (), (), 5, (), ()),
+            (OP_JMP, 1, (), ()),  # unreachable, but makes pc 1 a target
+            (OP_CONST, 3, 1), (OP_RET, 3),
+            (OP_CONST, 3, 0), (OP_RET, 3),
+        ]
+        fused, sites = fuse_code(code)
+        assert sites == 0
+        assert fused == code
+
+    def test_fusion_rules_are_declarative_and_unique(self):
+        pairs = [(rule.first, rule.second) for rule in FUSION_RULES]
+        assert len(pairs) == len(set(pairs))
+        for rule in FUSION_RULES:
+            assert rule.opcode in OPCODE_NAMES
+
+
+class TestSuperinstructionErrorPaths:
+    """Fused error paths must charge exactly the unfused cost events."""
+
+    def test_proj_proj_fails_at_first_projection(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_CONST, 0, 9),
+            (OP_PROJ, 1, 0, 0),
+            (OP_PROJ, 2, 0, 0),
+            (OP_RET, 2),
+        ], 3), ())
+
+    def test_proj3_fails_at_second_projection(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_INT, 0, 1),
+            (OP_CONSTRUCT, 1, 1, (0,), "alloc_ctor"),
+            (OP_PROJ, 2, 1, 0),
+            (OP_PROJ, 3, 0, 0),  # reg 0 is a boxed int, not a constructor
+            (OP_PROJ, 4, 1, 0),
+            (OP_RET, 4),
+        ], 5), ())
+
+    def test_proj4_fails_at_last_projection(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_INT, 0, 1),
+            (OP_CONSTRUCT, 1, 1, (0,), "alloc_ctor"),
+            (OP_PROJ, 2, 1, 0),
+            (OP_PROJ, 3, 1, 0),
+            (OP_PROJ, 4, 1, 0),
+            (OP_PROJ, 5, 0, 0),  # fails after three successful projections
+            (OP_RET, 5),
+        ], 6), ())
+
+    def test_getlabel_cmp_br_fails_reading_the_tag(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_CONST, 0, 9),  # machine int: tag_of raises
+            (OP_GETLABEL, 1, 0),
+            (OP_CONST, 2, 2),
+            (OP_CMP, 3, _EQ, 1, 2),
+            (OP_CONDBR, 3, 5, (), (), 7, (), ()),
+            (OP_CONST, 4, 1), (OP_RET, 4),
+            (OP_CONST, 4, 0), (OP_RET, 4),
+        ], 5), ())
+
+    def test_dec_dec_fails_at_first_dec(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_INT, 0, 5), (OP_INT, 1, 6),
+            (OP_DEC, 0, 1), (OP_DEC, 1, 1),
+            (OP_DEC, 0, 1), (OP_DEC, 1, 1),  # reg 0 already freed
+            (OP_RET, -1),
+        ], 2), ())
+
+    def test_dec_inc_fails_at_the_dec(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_INT, 0, 5), (OP_INT, 1, 6),
+            (OP_DEC, 0, 1), (OP_INC, 1, 1),
+            (OP_DEC, 0, 1), (OP_INC, 1, 1),  # reg 0 already freed
+            (OP_RET, -1),
+        ], 2), ())
+
+    def test_inc_rtcall_fails_at_the_inc(self):
+        _assert_configs_identical(lambda: _vm_program([
+            (OP_INT, 0, 5),
+            (OP_DEC, 0, 1),
+            (OP_CONST, 1, 0),
+            (OP_INC, 0, 1),  # reg 0 freed: inc raises before the builtin
+            (OP_RTCALL, 2, "lean_int_add", (0, 0)),
+            (OP_RET, 2),
+        ], 3), ())
+
+
+class TestExplicitCallStack:
+    def test_100k_deep_recursion_under_default_recursion_limit(self):
+        import sys
+
+        source = (
+            "def countdown (n : Nat) : Nat :=\n"
+            "  if n == 0 then 0\n"
+            "  else\n"
+            "    let r := countdown (n - 1);\n"
+            "    r + 1\n"
+            "\n"
+            "def main : Nat := countdown 100000"
+        )
+        before = sys.getrecursionlimit()
+        result = run_mlir(source, PipelineOptions())
+        assert result.value == 100000
+        assert sys.getrecursionlimit() == before
+
+    def test_dispatch_modes_and_fusion_agree_on_regression_programs(self):
+        for name in ("match_multi_scrutinee", "list_fold_sum"):
+            program = REGRESSION_BY_NAME.get(name)
+            if program is None:
+                continue
+            runs = [
+                run_mlir(program.source, PipelineOptions(
+                    dispatch=dispatch, superinstructions=fusion,
+                ))
+                for dispatch in DISPATCH_MODES
+                for fusion in (True, False)
+            ]
+            for run in runs[1:]:
+                assert_identical_runs(runs[0], run)
+
+
+class TestVm2SessionCache:
+    def test_session_cache_keys_on_dispatch_and_fusion(self):
+        session = CompilationSession()
+        compiler = MlirCompiler(PipelineOptions(), session=session)
+        module = compiler.compile(TINY).cfg_module
+        misses0 = session.stats["bytecode_misses"]
+        hits0 = session.stats["bytecode_hits"]
+        base = session.bytecode_for(module)
+        assert session.bytecode_for(module) is base  # hit
+        switch = session.bytecode_for(module, dispatch="switch")
+        assert switch is not base  # miss: its own cache row
+        unfused = session.bytecode_for(module, superinstructions=False)
+        assert unfused is not base and unfused is not switch
+        assert base.fused and switch.fused and not unfused.fused
+        assert session.bytecode_for(module, dispatch="switch") is switch
+        assert session.bytecode_for(
+            module, superinstructions=False
+        ) is unfused
+        assert session.stats["bytecode_misses"] == misses0 + 3
+        assert session.stats["bytecode_hits"] == hits0 + 3
+
+
+class TestVm2Cli:
+    RECURSIVE = (
+        "def f (n : Nat) : Nat := if n == 0 then 5 else f (n - 1)\n"
+        "def main : Nat := f 10"
+    )
+
+    def test_exec_stats_reports_fused_names(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "p.lean"
+        path.write_text(self.RECURSIVE)
+        assert main([str(path), "--exec-stats"]) == 0
+        out = capsys.readouterr().out
+        assert any(name in out for name in FUSED_OPCODE_BASES)
+
+    def test_exec_stats_unfused_decomposes_to_base_opcodes(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        path = tmp_path / "p.lean"
+        path.write_text(self.RECURSIVE)
+        assert main([str(path), "--exec-stats", "--unfused"]) == 0
+        out = capsys.readouterr().out
+        assert not any(name in out for name in FUSED_OPCODE_BASES)
+
+    def test_unfused_requires_exec_stats(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "p.lean"
+        path.write_text(self.RECURSIVE)
+        assert main([str(path), "--unfused"]) == 2

@@ -260,8 +260,12 @@ class _StubResult:
 class TestDifferentialMatrix:
     def test_full_matrix_shape(self):
         configs = full_matrix()
-        assert len(configs) == 24
-        assert len({c.label for c in configs}) == 24
+        assert len(configs) == 36
+        assert len({c.label for c in configs}) == 36
+        vm_dispatches = {
+            c.dispatch for c in configs if c.execution_engine == "vm"
+        }
+        assert vm_dispatches == {"threaded", "switch"}
 
     def test_smoke_matrix_covers_every_axis(self):
         configs = smoke_matrix()
@@ -271,6 +275,9 @@ class TestDifferentialMatrix:
         }
         assert {c.rewrite_engine for c in configs} == {"worklist", "rescan"}
         assert {c.execution_engine for c in configs} == {"vm", "tree"}
+        assert {
+            c.dispatch for c in configs if c.execution_engine == "vm"
+        } == {"threaded", "switch"}
         assert {c.incremental for c in configs} == {False, True}
 
     def test_generated_programs_agree_everywhere(self):
@@ -286,8 +293,8 @@ class TestDifferentialMatrix:
         @given(program=typed_programs())
         def run(program):
             report = run_matrix(print_program(program), session=session)
-            # 24 lp+rgn configurations + 6 baseline runs.
-            assert report.configurations == 30
+            # 36 lp+rgn configurations + 6 baseline runs.
+            assert report.configurations == 42
 
         run()
 
@@ -383,7 +390,7 @@ class TestFuzzCli:
         )
         out = capsys.readouterr().out
         assert code == 0
-        assert "fuzz: 6 programs x 12 configurations" in out
+        assert "fuzz: 6 programs x 13 configurations" in out
         assert "0 counterexample(s)" in out
 
     def test_failure_is_saved_to_corpus_dir(self, tmp_path, monkeypatch, capsys):
